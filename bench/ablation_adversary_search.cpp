@@ -1,0 +1,84 @@
+// How hard is it to *stumble into* a violation above the c2/c1 = 2
+// threshold? §4 proves violations are constructible there, and §5 observes
+// that benign workloads rarely produce them. This ablation quantifies the
+// gap with a randomized adversary of increasing strength: each trial runs a
+// random execution in which every token independently flips a biased coin to
+// move at pace c1 or pace c2 on each link (a "bimodal" adversary, much more
+// hostile than uniform delays), and we measure how often any violation
+// appears as a function of the ratio and the slow-link probability.
+#include <cstdio>
+#include <iostream>
+
+#include "lin/checker.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cnet;
+
+/// Every link independently: pace c2 with probability p, else c1.
+class BimodalDelay final : public sim::DelayModel {
+ public:
+  BimodalDelay(double c1, double c2, double p_slow) : c1_(c1), c2_(c2), p_slow_(p_slow) {}
+  double link_delay(sim::TokenId, std::uint32_t, Rng& rng) override {
+    return rng.chance(p_slow_) ? c2_ : c1_;
+  }
+
+ private:
+  double c1_;
+  double c2_;
+  double p_slow_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace cnet;
+
+  std::printf("Randomized bimodal adversary: 50 trials x 800 tokens per cell;\n");
+  std::printf("cell = %%trials with >= 1 violation / mean violating fraction\n\n");
+
+  for (const char* kind : {"tree", "bitonic"}) {
+    const bool is_tree = std::string(kind) == "tree";
+    const topo::Network net =
+        is_tree ? topo::make_counting_tree(32) : topo::make_bitonic(32);
+    std::vector<std::string> header = {net.name() + "  c2/c1 \\ p(slow)"};
+    const std::vector<double> probs = {0.01, 0.05, 0.25, 0.5};
+    for (double p : probs) header.push_back(Table::num(p, 2));
+    Table table(header);
+    for (double ratio : {1.5, 2.0, 3.0, 6.0, 12.0}) {
+      std::vector<std::string> row = {Table::num(ratio, 1)};
+      for (double p : probs) {
+        int trials_with_violation = 0;
+        double fraction_sum = 0.0;
+        const int trials = 50;
+        for (int trial = 0; trial < trials; ++trial) {
+          BimodalDelay delays(1.0, ratio, p);
+          sim::Simulator simulator(net, delays, 1000 + trial);
+          Rng arrivals(trial);
+          double t = 0.0;
+          for (int i = 0; i < 800; ++i) {
+            simulator.inject(static_cast<std::uint32_t>(i) % net.input_width(), t);
+            t += arrivals.unit() * 0.1;
+          }
+          simulator.run();
+          const lin::CheckResult analysis = lin::check(simulator.history());
+          trials_with_violation += !analysis.linearizable();
+          fraction_sum += analysis.fraction();
+        }
+        row.push_back(Table::num(100.0 * trials_with_violation / 50.0, 0) + "% / " +
+                      Table::num(100.0 * fraction_sum / 50.0, 2) + "%");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: below ratio 2 everything is provably clean (Cor 3.9). Above it,\n"
+      "violations need both a large ratio and enough slow links to matter — the\n"
+      "quantitative backing for \"practically linearizable\".\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation for Cor 3.12: run the adversarial tree schedule against padded
+// trees of increasing prefix length and locate the padding at which the
+// violation disappears. Theory: the violation window is
+// h*(c2 - 2*c1) - prefix*c1, so the cutoff is prefix = h*(k-2) with
+// k = c2/c1 — exactly the corollary's prescription, at the cost of depth
+// h*(k-1).
+#include <cstdio>
+#include <iostream>
+
+#include "sim/scenarios.h"
+#include "theory/bounds.h"
+#include "topo/builders.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cnet;
+
+  std::printf("Cor 3.12 padding ablation on Tree[w], adversarial schedule, tiny gap\n\n");
+
+  Table table({"width", "h", "k=c2/c1", "prescribed h(k-2)", "prefix", "total depth",
+               "violations"});
+  for (std::uint32_t w : {8u, 32u}) {
+    const std::uint32_t h = theory::tree_depth(w);
+    for (std::uint32_t k : {3u, 4u, 6u}) {
+      const double c1 = 1.0;
+      const double c2 = static_cast<double>(k) * c1;
+      const std::uint32_t prescribed = theory::padding_prefix_length(h, k);
+      for (std::uint32_t prefix :
+           {0u, prescribed / 2, prescribed - 1, prescribed, prescribed + 1, 2 * prescribed}) {
+        const sim::ScenarioResult r =
+            sim::padded_tree_probe(w, prefix, c1, c2, /*finish_start_gap=*/c1 / 512.0);
+        table.add_row({std::to_string(w), std::to_string(h), std::to_string(k),
+                       std::to_string(prescribed), std::to_string(prefix),
+                       std::to_string(r.depth),
+                       std::to_string(r.analysis.nonlinearizable_ops)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: violations > 0 strictly below the prescribed prefix and 0 at\n"
+      "or above it — linearizability restored at depth h*(k-1) (Cor 3.12), vs the\n"
+      "impossibility of doing better than linear depth in general [12].\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Throughput of the Def 2.4 analysis itself: the offline O(n log n) sweep
+// and the bounded-memory windowed checker, over realistic histories.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "lin/checker.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cnet;
+
+lin::History make_history(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  lin::History h;
+  h.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.unit();
+    const double dur = rng.unit() * 8.0;
+    const auto value =
+        static_cast<std::uint64_t>(std::max(0.0, t + (rng.unit() - 0.5) * 20.0));
+    h.push_back(lin::Operation{t, t + dur, value, 0});
+  }
+  return h;
+}
+
+void BM_OfflineCheck(benchmark::State& state) {
+  const lin::History h = make_history(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lin::check(h).nonlinearizable_ops);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OfflineCheck)->Range(1 << 10, 1 << 20);
+
+void BM_WindowedCheck(benchmark::State& state) {
+  lin::History h = make_history(static_cast<std::size_t>(state.range(0)), 42);
+  std::sort(h.begin(), h.end(),
+            [](const lin::Operation& a, const lin::Operation& b) { return a.end < b.end; });
+  for (auto _ : state) {
+    lin::WindowedChecker checker(10.0);
+    for (const auto& op : h) checker.add(op);
+    checker.finish();
+    benchmark::DoNotOptimize(checker.nonlinearizable_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowedCheck)->Range(1 << 10, 1 << 18);
+
+void BM_ValuesFormRange(benchmark::State& state) {
+  lin::History h;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h.push_back(lin::Operation{0.0, 1.0, (i * 2654435761u) % n, 0});
+  }
+  // Not actually a range in general; we only measure the scan cost.
+  std::string msg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lin::values_form_range(h, &msg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValuesFormRange)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

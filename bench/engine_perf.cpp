@@ -1,0 +1,75 @@
+// Performance of the two simulation engines themselves (google-benchmark):
+// events per second for the event-level timing simulator and the coroutine
+// multiprocessor, so regressions in the substrates are visible.
+#include <benchmark/benchmark.h>
+
+#include "psim/machine.h"
+#include "sim/scenarios.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+
+namespace {
+
+using namespace cnet;
+
+void BM_SimRandomExecution(benchmark::State& state) {
+  const topo::Network net = topo::make_bitonic(static_cast<std::uint32_t>(state.range(0)));
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::UniformDelay delays(1.0, 3.0);
+    sim::Simulator simulator(net, delays, seed++);
+    for (int i = 0; i < 1000; ++i) {
+      simulator.inject(static_cast<std::uint32_t>(i) % net.input_width(), i * 0.05);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.output_counts().data());
+    events += 1000ull * (net.depth() + 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = balancer+counter events");
+}
+BENCHMARK(BM_SimRandomExecution)->Arg(8)->Arg(32);
+
+void BM_PsimWorkload(benchmark::State& state) {
+  const topo::Network net = topo::make_bitonic(32);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    psim::MachineParams params;
+    params.processors = static_cast<std::uint32_t>(state.range(0));
+    params.total_ops = 2000;
+    params.delayed_fraction = 0.25;
+    params.wait_cycles = 1000;
+    params.seed = seed++;
+    const psim::MachineResult result = psim::run_workload(net, params);
+    benchmark::DoNotOptimize(result.makespan);
+    events += result.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = engine events");
+}
+BENCHMARK(BM_PsimWorkload)->Arg(16)->Arg(128);
+
+void BM_PsimDiffractingWorkload(benchmark::State& state) {
+  const topo::Network net = topo::make_counting_tree(32);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    psim::MachineParams params;
+    params.processors = static_cast<std::uint32_t>(state.range(0));
+    params.total_ops = 2000;
+    params.use_diffraction = true;
+    params.seed = seed++;
+    const psim::MachineResult result = psim::run_workload(net, params);
+    benchmark::DoNotOptimize(result.makespan);
+    events += result.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = engine events");
+}
+BENCHMARK(BM_PsimDiffractingWorkload)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Exhaustive certification of the c2/c1 = 2 threshold on small instances:
+// for each network and ratio, enumerate EVERY schedule of a small token set
+// (entry lattice x per-link {c1,c2} choices) and report whether any violates
+// Def 2.4. Below/at 2 the answer must be — and is — "none"; above 2 a
+// witness appears as soon as the lattice resolves the violation window,
+// and the witness is printed.
+#include <cstdio>
+#include <iostream>
+
+#include "sim/exhaustive.h"
+#include "topo/builders.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cnet;
+
+  struct Instance {
+    const char* name;
+    topo::Network net;
+    std::uint32_t tokens;
+    std::uint32_t slots;
+    double step;
+  };
+  Instance instances[] = {
+      {"Balancer[2]", topo::make_balancer(2), 3, 12, 0.25},
+      {"Tree[4]", topo::make_counting_tree(4), 4, 8, 0.5},
+      {"Bitonic[2]", topo::make_bitonic(2), 3, 12, 0.25},
+      {"Bitonic[4]", topo::make_bitonic(4), 4, 4, 1.0},
+  };
+
+  Table table({"network", "depth", "tokens", "c2/c1", "schedules", "violating schedule?"});
+  for (Instance& instance : instances) {
+    for (double ratio : {1.5, 2.0, 2.25, 2.5, 4.0}) {
+      sim::ExhaustiveParams params;
+      params.tokens = instance.tokens;
+      params.c1 = 1.0;
+      params.c2 = ratio;
+      params.entry_slots = instance.slots;
+      params.entry_step = instance.step;
+      const sim::ExhaustiveResult result = sim::exhaustive_search(instance.net, params);
+      table.add_row({instance.name, std::to_string(instance.net.depth()),
+                     std::to_string(instance.tokens), Table::num(ratio, 2),
+                     std::to_string(result.schedules_checked),
+                     result.violation_found ? "FOUND" : "none"});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nNotes: certification at ratio <= 2 is Cor 3.9, verified schedule-by-schedule.\n"
+      "Refutation thresholds sit above 2 when the token budget is below the §4\n"
+      "constructions' needs (Thm 4.1 uses 2^h+1 tokens, Thm 4.3 uses w+3): Tree[4]\n"
+      "flips between 2.5 and 4.0 with 4 tokens, and 4 tokens never suffice for\n"
+      "Bitonic[4] (w+3 = 7) — the adversary's power is part of the theorem.\n");
+
+  // Print one witness in full, as a machine-found §1-style counterexample.
+  sim::ExhaustiveParams params;
+  params.tokens = 3;
+  params.c2 = 2.5;
+  params.entry_slots = 12;
+  params.entry_step = 0.25;
+  const topo::Network balancer = topo::make_balancer(2);
+  const sim::ExhaustiveResult result = sim::exhaustive_search(balancer, params);
+  if (result.violation_found) {
+    std::printf("\nMachine-found counterexample on Balancer[2] at c2/c1 = 2.5:\n");
+    for (std::size_t t = 0; t < result.witness.tokens.size(); ++t) {
+      const auto& token = result.witness.tokens[t];
+      std::printf("  T%zu: enters x%u at %.2f, link delay %.2f, exits %.2f with value %llu\n",
+                  t, token.input, token.entry, token.link_delays[0], token.exit,
+                  static_cast<unsigned long long>(token.value));
+    }
+    std::printf("(compare with the hand-built example of the paper's Section 1)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 5 of the paper: non-linearizability ratios with F = 25% of the
+// processors delayed W cycles after every node, for the width-32 bitonic
+// counting network and diffracting tree, n = 4..256, 5000 operations.
+#include "fig_common.h"
+
+int main() {
+  cnet::bench::run_figure("Figure 5", /*fraction=*/0.25, /*ops=*/5000, /*seed=*/20260704);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 6 of the paper: as Figure 5 but with F = 50% delayed processors.
+#include "fig_common.h"
+
+int main() {
+  cnet::bench::run_figure("Figure 6", /*fraction=*/0.50, /*ops=*/5000, /*seed=*/20260704);
+  return 0;
+}

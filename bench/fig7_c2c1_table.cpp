@@ -1,0 +1,74 @@
+// Figure 7 of the paper: the average c2/c1 ratio, estimated as
+// (Tog + W) / Tog where Tog is the measured mean wait before toggling a
+// balancer, for both structures, both workloads (F = 50% and 25%), all
+// concurrency levels and all W. The paper's measured values are printed
+// alongside ours for a direct shape comparison.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "fig_common.h"
+
+namespace {
+
+// Figure 7 of the paper, transcribed: [structure][F][W] -> values for
+// n = 4, 16, 64, 128, 256.
+struct PaperRow {
+  const char* structure;
+  int f_percent;
+  unsigned long long wait;
+  double values[5];
+};
+
+constexpr PaperRow kPaper[] = {
+    {"bitonic", 50, 100, {1.45, 1.39, 1.25, 1.22, 1.18}},
+    {"bitonic", 50, 1000, {5.67, 5.03, 3.70, 3.24, 2.73}},
+    {"bitonic", 50, 10000, {48.77, 41.26, 27.98, 24.49, 21.21}},
+    {"bitonic", 50, 100000, {483.0, 410.21, 280.27, 244.34, 215.22}},
+    {"bitonic", 25, 100, {1.45, 1.39, 1.25, 1.22, 1.17}},
+    {"bitonic", 25, 1000, {5.54, 4.95, 3.56, 3.16, 2.68}},
+    {"bitonic", 25, 10000, {46.18, 40.15, 26.67, 23.39, 19.63}},
+    {"bitonic", 25, 100000, {456.70, 395.70, 262.08, 226.80, 193.06}},
+    {"dtree", 50, 100, {1.11, 1.11, 1.10, 1.11, 1.11}},
+    {"dtree", 50, 1000, {2.06, 2.06, 1.94, 2.01, 2.09}},
+    {"dtree", 50, 10000, {12.14, 11.55, 10.10, 10.57, 11.36}},
+    {"dtree", 50, 100000, {115.54, 107.39, 91.86, 96.72, 105.62}},
+    {"dtree", 25, 100, {1.11, 1.11, 1.10, 1.11, 1.11}},
+    {"dtree", 25, 1000, {2.06, 2.08, 1.96, 2.03, 2.09}},
+    {"dtree", 25, 10000, {11.67, 11.70, 10.38, 10.97, 11.78}},
+    {"dtree", 25, 100000, {108.42, 107.96, 93.89, 101.02, 109.12}},
+};
+
+}  // namespace
+
+int main() {
+  using namespace cnet;
+  using namespace cnet::bench;
+
+  std::printf("Figure 7: average c2/c1 = (Tog + W) / Tog\n");
+  std::printf("Each cell: measured (paper). Width-32 structures, 5000 ops per run.\n\n");
+
+  std::map<std::pair<bool, int>, Grid> grids;
+  for (int f : {50, 25}) {
+    const Grid grid = run_grid(f / 100.0, 5000, 20260704);
+    for (const PaperRow& paper : kPaper) {
+      if (paper.f_percent != f) continue;
+      const bool diffracting = std::string(paper.structure) == "dtree";
+      // locate wait index
+      std::size_t wi = 0;
+      while (wait_axis()[wi] != paper.wait) ++wi;
+      std::printf("%-7s F=%d%% W=%-6llu:", paper.structure, f, paper.wait);
+      for (std::size_t ni = 0; ni < concurrency_axis().size(); ++ni) {
+        const CellResult& cell = grid[diffracting ? 1 : 0][wi][ni];
+        std::printf("  n=%-3u %8.2f (%.2f)", concurrency_axis()[ni], cell.avg_c2_over_c1,
+                    paper.values[ni]);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks: ratios ~paper magnitude per (structure, W); bitonic ratios fall\n"
+      "with n (queueing raises Tog); dtree ratios flat in n (prism spin dominates Tog).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared driver for the §5 figure benches: runs the paper's workload grid
+// (structure x n x W) on the psim machine and renders the series the paper
+// plots. Figures 5/6 differ only in F.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "psim/machine.h"
+#include "topo/builders.h"
+#include "util/table.h"
+
+namespace cnet::bench {
+
+inline const std::vector<std::uint32_t>& concurrency_axis() {
+  static const std::vector<std::uint32_t> axis = {4, 16, 64, 128, 256};
+  return axis;
+}
+
+inline const std::vector<psim::Cycle>& wait_axis() {
+  static const std::vector<psim::Cycle> axis = {100, 1000, 10000, 100000};
+  return axis;
+}
+
+struct CellResult {
+  double nonlinearizable_fraction = 0.0;
+  double avg_tog = 0.0;
+  double avg_c2_over_c1 = 0.0;
+};
+
+inline CellResult run_cell(bool diffracting, std::uint32_t n, psim::Cycle wait, double fraction,
+                           std::uint64_t ops, std::uint64_t seed) {
+  static const topo::Network bitonic = topo::make_bitonic(32);
+  static const topo::Network tree = topo::make_counting_tree(32);
+  psim::MachineParams params;
+  params.processors = n;
+  params.total_ops = ops;
+  params.delayed_fraction = fraction;
+  params.wait_cycles = wait;
+  params.seed = seed;
+  params.use_diffraction = diffracting;
+  const psim::MachineResult result =
+      psim::run_workload(diffracting ? tree : bitonic, params);
+  return CellResult{result.analysis.fraction(), result.avg_tog, result.avg_c2_over_c1};
+}
+
+/// The full figure grid, indexed [diffracting][wait index][n index].
+using Grid = std::vector<std::vector<std::vector<CellResult>>>;
+
+inline Grid run_grid(double fraction, std::uint64_t ops, std::uint64_t seed) {
+  Grid grid(2);
+  for (int diffracting = 0; diffracting < 2; ++diffracting) {
+    for (auto wait : wait_axis()) {
+      auto& row = grid[diffracting].emplace_back();
+      for (auto n : concurrency_axis()) {
+        row.push_back(run_cell(diffracting != 0, n, wait, fraction, ops, seed));
+      }
+    }
+  }
+  return grid;
+}
+
+/// Renders one figure (fixed F): the non-linearizability-ratio series the
+/// paper plots, as a table (rows = W, columns = n) per structure, plus the
+/// same data as CSV for replotting.
+inline void run_figure(const std::string& figure, double fraction, std::uint64_t ops,
+                       std::uint64_t seed) {
+  std::printf("%s: non-linearizability ratio, F=%.0f%% delayed processors,\n", figure.c_str(),
+              fraction * 100.0);
+  std::printf("width-32 structures, %llu operations per cell (paper: 5000), seed %llu\n\n",
+              static_cast<unsigned long long>(ops), static_cast<unsigned long long>(seed));
+
+  const Grid grid = run_grid(fraction, ops, seed);
+
+  for (int diffracting = 0; diffracting < 2; ++diffracting) {
+    std::vector<std::string> header = {diffracting != 0 ? "dtree W\\n" : "bitonic W\\n"};
+    for (auto n : concurrency_axis()) header.push_back("n=" + std::to_string(n));
+    Table table(header);
+    for (std::size_t wi = 0; wi < wait_axis().size(); ++wi) {
+      std::vector<std::string> row = {std::to_string(wait_axis()[wi])};
+      for (std::size_t ni = 0; ni < concurrency_axis().size(); ++ni) {
+        row.push_back(
+            Table::num(grid[diffracting][wi][ni].nonlinearizable_fraction * 100.0, 2) + "%");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("CSV: structure,W,n,nonlin_fraction,avg_tog,avg_c2_over_c1\n");
+  for (int diffracting = 0; diffracting < 2; ++diffracting) {
+    for (std::size_t wi = 0; wi < wait_axis().size(); ++wi) {
+      for (std::size_t ni = 0; ni < concurrency_axis().size(); ++ni) {
+        const CellResult& cell = grid[diffracting][wi][ni];
+        std::printf("%s,%llu,%u,%.5f,%.1f,%.2f\n", diffracting != 0 ? "dtree" : "bitonic",
+                    static_cast<unsigned long long>(wait_axis()[wi]), concurrency_axis()[ni],
+                    cell.nonlinearizable_fraction, cell.avg_tog, cell.avg_c2_over_c1);
+      }
+    }
+  }
+}
+
+}  // namespace cnet::bench

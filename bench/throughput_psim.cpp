@@ -1,0 +1,58 @@
+// Scalability on the simulated multiprocessor: the §1 motivation ("highly
+// scalable ... eliminates sequential bottlenecks and contention") measured
+// deterministically. Compares a single MCS-protected central counter (the
+// classic bottleneck), the width-32 bitonic network, and the width-32
+// diffracting tree at n = 1..256 simulated processors; reports completed
+// operations per 1000 simulated cycles.
+//
+// This complements throughput_rt, which measures the same structures on the
+// host hardware (and is limited by the host's core count).
+#include <cstdio>
+#include <iostream>
+
+#include "psim/machine.h"
+#include "topo/builders.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cnet;
+
+  const topo::Network central = topo::make_balancer(1);  // 1x1 node + one counter
+  const topo::Network bitonic = topo::make_bitonic(32);
+  const topo::Network tree = topo::make_counting_tree(32);
+
+  std::printf("Simulated-machine throughput (ops per 1000 cycles), 5000 ops per run\n\n");
+
+  Table table({"n", "central MCS", "Bitonic[32]", "Tree[32] (prisms)", "tree/central"});
+  for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    double throughput[3] = {};
+    int idx = 0;
+    for (const topo::Network* net : {&central, &bitonic, &tree}) {
+      psim::MachineParams params;
+      params.processors = n;
+      params.total_ops = 5000;
+      params.delayed_fraction = 0.0;
+      params.wait_cycles = 0;
+      params.seed = 42;
+      params.use_diffraction = (net == &tree);
+      if (params.use_diffraction) {
+        // Saturation workload: size the root prism to the arrival rate
+        // (~n/8 slots) rather than the delay-workload default.
+        params.prism.width = std::max(2u, n / 8);
+      }
+      const psim::MachineResult result = psim::run_workload(*net, params);
+      throughput[idx++] = 1000.0 * static_cast<double>(result.history.size()) /
+                          static_cast<double>(result.makespan);
+    }
+    table.add_row({std::to_string(n), Table::num(throughput[0], 2),
+                   Table::num(throughput[1], 2), Table::num(throughput[2], 2),
+                   Table::num(throughput[2] / throughput[0], 2) + "x"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: the central counter saturates at 1/critical-section while\n"
+      "both networks keep scaling well past it. Our prism is deliberately the simple\n"
+      "non-adaptive protocol of the paper's era, so the tree peaks around n=64-128;\n"
+      "the adaptive prisms of [21] would sustain its advantage further.\n");
+  return 0;
+}

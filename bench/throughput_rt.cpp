@@ -1,0 +1,117 @@
+// Real-thread throughput: the scalability claim that motivates counting
+// networks (§1). Compares a central atomic fetch_add counter, an MCS-locked
+// counter, and the counting-network counters (bitonic lock-free, bitonic
+// MCS-balancer, periodic, diffracting tree) across thread counts.
+//
+// google-benchmark's ->Threads(n) runs the benchmark body on n threads
+// concurrently; counters are rebuilt per run via setup in the fixture-less
+// pattern below (state.thread_index() gives the dense thread id the
+// NetworkCounter API needs).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "rt/diffracting_tree.h"
+#include "rt/mcs_lock.h"
+#include "rt/network_counter.h"
+#include "topo/builders.h"
+
+namespace {
+
+using namespace cnet;
+
+// --- baselines ---------------------------------------------------------
+
+std::atomic<std::uint64_t> g_atomic_counter{0};
+
+void BM_CentralAtomic(benchmark::State& state) {
+  if (state.thread_index() == 0) g_atomic_counter.store(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_atomic_counter.fetch_add(1, std::memory_order_acq_rel));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CentralAtomic)->ThreadRange(1, 8)->UseRealTime();
+
+struct LockedCounter {
+  rt::McsLock lock;
+  std::uint64_t value = 0;
+  std::uint64_t next() {
+    rt::McsLock::Guard guard(lock);
+    return value++;
+  }
+};
+LockedCounter g_locked_counter;
+
+void BM_McsLockedCounter(benchmark::State& state) {
+  if (state.thread_index() == 0) g_locked_counter.value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_locked_counter.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_McsLockedCounter)->ThreadRange(1, 8)->UseRealTime();
+
+// --- counting networks --------------------------------------------------
+
+std::unique_ptr<rt::NetworkCounter> g_network_counter;
+std::unique_ptr<rt::DiffractingTree> g_tree;
+
+void BM_BitonicFetchAdd(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_network_counter = std::make_unique<rt::NetworkCounter>(
+        topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))));
+  }
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_network_counter->next(tid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitonicFetchAdd)->Arg(8)->Arg(32)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_BitonicMcsBalancers(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    rt::CounterOptions options;
+    options.mode = rt::BalancerMode::kMcsLocked;
+    g_network_counter = std::make_unique<rt::NetworkCounter>(
+        topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))), options);
+  }
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_network_counter->next(tid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitonicMcsBalancers)->Arg(32)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_Periodic(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_network_counter = std::make_unique<rt::NetworkCounter>(
+        topo::make_periodic(static_cast<std::uint32_t>(state.range(0))));
+  }
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_network_counter->next(tid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Periodic)->Arg(16)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_DiffractingTree(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_tree = std::make_unique<rt::DiffractingTree>(
+        static_cast<std::uint32_t>(state.range(0)));
+  }
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_tree->next(tid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffractingTree)->Arg(32)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

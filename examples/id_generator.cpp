@@ -1,0 +1,85 @@
+// A concurrent unique-ID service with an online ordering audit.
+//
+// Scenario from the paper's introduction: "linearizable counting lies at the
+// heart of concurrent timestamp generation". We build an ID generator on a
+// diffracting tree (lowest latency), have worker threads stamp "requests",
+// and feed every completed operation to the bounded-memory WindowedChecker
+// to measure, live, how often the IDs disagree with real-time order
+// (Def 2.4). On a sanely-timed machine the answer is: essentially never —
+// the counter is *practically* linearizable even though the tree gives no
+// worst-case guarantee.
+//
+//   $ ./examples/id_generator [threads] [ops_per_thread]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lin/checker.h"
+#include "rt/diffracting_tree.h"
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+  const int per_thread = argc > 2 ? std::atoi(argv[2]) : 50000;
+
+  cnet::rt::DiffractingTree tree(32);
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto now_ns = [t0] {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+  };
+
+  // The audit trail: completion reports are serialized into the windowed
+  // checker (1 ms lag bound — far beyond any op duration here).
+  cnet::lin::WindowedChecker audit(1e6);
+  std::mutex audit_mutex;
+
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<cnet::lin::Operation> local;
+        local.reserve(256);
+        for (int i = 0; i < per_thread; ++i) {
+          const double start = now_ns();
+          const std::uint64_t id = tree.next(t);
+          const double end = now_ns();
+          local.push_back({start, end, id, t});
+          if (local.size() == 256) {
+            const std::scoped_lock lock(audit_mutex);
+            for (const auto& op : local) audit.add(op);
+            local.clear();
+          }
+        }
+        const std::scoped_lock lock(audit_mutex);
+        for (const auto& op : local) audit.add(op);
+      });
+    }
+  }
+  audit.finish();
+
+  const double total = static_cast<double>(audit.total_ops());
+  std::printf("issued %.0f unique IDs from %u threads\n", total, threads);
+  std::printf("real-time order violations (Def 2.4): %llu (%.5f%%)\n",
+              static_cast<unsigned long long>(audit.nonlinearizable_ops()),
+              audit.fraction() * 100.0);
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  if (audit.nonlinearizable_ops() == 0) {
+    std::printf("=> perfectly linearizable on this run\n");
+  } else if (audit.fraction() < 0.001) {
+    std::printf("=> practically linearizable: rare inversions only\n");
+  } else {
+    std::printf(
+        "=> heavy inversions: %u threads on %u core(s) means preemption parks\n"
+        "   committed tokens mid-network for whole scheduler quanta — exactly the\n"
+        "   c2/c1 >> 2 timing anomaly of the paper's Section 4. Run with at most\n"
+        "   one thread per core to see the practically-linearizable regime.\n",
+        threads, cores);
+  }
+  return 0;
+}

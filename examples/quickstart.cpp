@@ -1,0 +1,51 @@
+// Quickstart: a scalable shared counter in a dozen lines.
+//
+// Eight threads draw 10,000 values each from a width-32 bitonic counting
+// network; the program then verifies that exactly the values 0..79999 were
+// handed out, each precisely once — no locks on the hot path, no central
+// bottleneck.
+//
+//   $ ./examples/quickstart
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/counting_network.h"
+
+int main() {
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 10000;
+
+  cnet::SharedCounter::Config config;
+  config.topology = cnet::Topology::kBitonic;
+  config.width = 32;
+  cnet::SharedCounter counter(config);
+
+  std::vector<std::vector<std::uint64_t>> drawn(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&counter, &mine = drawn[t], t] {
+        mine.reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) mine.push_back(counter.next(t));
+      });
+    }
+  }
+
+  std::vector<std::uint64_t> all;
+  for (const auto& v : drawn) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < all.size(); ++i) {
+    if (all[i] != i) {
+      std::printf("FAIL: rank %llu holds %llu\n", static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(all[i]));
+      return 1;
+    }
+  }
+  std::printf("OK: %zu values drawn by %u threads, every value 0..%zu exactly once\n",
+              all.size(), kThreads, all.size() - 1);
+  std::printf("network: %s, depth %u (a central counter would serialize all %zu ops)\n",
+              counter.network().name().c_str(), counter.network().depth(), all.size());
+  return 0;
+}

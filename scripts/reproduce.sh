@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table of the paper plus the ablations into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j "$(nproc)"
+
+mkdir -p results
+run() { echo "== $1"; "build/bench/$1" > "results/$2"; }
+run fig5_nonlinearizability_f25   fig5.txt
+run fig6_nonlinearizability_f50   fig6.txt
+run fig7_c2c1_table               fig7.txt
+run control_zero_violations       controls.txt
+run theory_scenarios              theory.txt
+run ablation_separation_sweep     separation.txt
+run ablation_padding              padding.txt
+run ablation_c2c1_sweep           c2c1_sweep.txt
+run ablation_adversary_search     adversary.txt
+run ablation_interconnect         interconnect.txt
+run throughput_psim               throughput_psim.txt
+echo "== throughput_rt (host-dependent)"
+build/bench/throughput_rt --benchmark_min_time=0.05 > results/throughput_rt.txt
+echo "== checker_perf"
+build/bench/checker_perf --benchmark_min_time=0.05 > results/checker_perf.txt
+echo "done; see results/"

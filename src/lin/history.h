@@ -1,0 +1,24 @@
+// Operation histories for linearizability analysis.
+//
+// An Operation is one counting operation: it was invoked (entered the
+// network) at `start`, responded (received its value from an output counter)
+// at `end`. Times are real-valued; the event simulator uses virtual time, the
+// multiprocessor simulator uses cycles, and the real-thread runtime uses
+// nanoseconds — the checker only relies on their order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cnet::lin {
+
+struct Operation {
+  double start = 0.0;        ///< invocation (network entry) time
+  double end = 0.0;          ///< response (counter value obtained) time
+  std::uint64_t value = 0;   ///< the value the counting network returned
+  std::uint32_t actor = 0;   ///< issuing token/processor/thread id (diagnostics)
+};
+
+using History = std::vector<Operation>;
+
+}  // namespace cnet::lin

@@ -1,0 +1,107 @@
+#include "mp/actor_runtime.h"
+
+#include <atomic>
+
+#include "util/assert.h"
+
+namespace cnet::mp {
+
+ActorRuntime::ActorRuntime(std::uint32_t workers) : worker_count_(workers) {
+  CNET_CHECK(workers >= 1);
+}
+
+ActorRuntime::~ActorRuntime() {
+  {
+    const std::scoped_lock lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // jthread members join on destruction.
+}
+
+ActorId ActorRuntime::add_actor(Handler handler) {
+  CNET_CHECK_MSG(workers_.empty(), "add_actor must precede start()");
+  actors_.push_back(std::make_unique<Actor>());
+  actors_.back()->handler = std::move(handler);
+  return static_cast<ActorId>(actors_.size() - 1);
+}
+
+void ActorRuntime::start() {
+  CNET_CHECK_MSG(workers_.empty(), "start() called twice");
+  workers_.reserve(worker_count_);
+  for (std::uint32_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ActorRuntime::send(ActorId to, const Message& message) {
+  CNET_CHECK(to < actors_.size());
+  Actor& actor = *actors_[to];
+  bool need_schedule = false;
+  {
+    const std::scoped_lock lock(actor.mutex);
+    actor.mailbox.push_back(message);
+    if (!actor.scheduled) {
+      actor.scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) enqueue_runnable(to);
+}
+
+std::uint64_t ActorRuntime::messages_processed() const {
+  return processed_.load(std::memory_order_relaxed);
+}
+
+void ActorRuntime::enqueue_runnable(ActorId id) {
+  {
+    const std::scoped_lock lock(queue_mutex_);
+    run_queue_.push_back(id);
+  }
+  queue_cv_.notify_one();
+}
+
+bool ActorRuntime::dequeue_runnable(ActorId& id) {
+  std::unique_lock lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return stopping_ || !run_queue_.empty(); });
+  if (run_queue_.empty()) return false;  // stopping
+  id = run_queue_.front();
+  run_queue_.pop_front();
+  return true;
+}
+
+void ActorRuntime::worker_loop() {
+  ActorId id = 0;
+  while (dequeue_runnable(id)) {
+    Actor& actor = *actors_[id];
+    for (int processed = 0; processed < kBatch; ++processed) {
+      Message message;
+      {
+        const std::scoped_lock lock(actor.mutex);
+        if (actor.mailbox.empty()) {
+          actor.scheduled = false;
+          break;
+        }
+        message = actor.mailbox.front();
+        actor.mailbox.pop_front();
+      }
+      // Serialized: no other worker runs this actor while scheduled == true.
+      actor.handler(id, message);
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Batch exhausted with messages possibly left: hand the actor back to
+    // the queue so other actors get their turn.
+    bool requeue = false;
+    {
+      const std::scoped_lock lock(actor.mutex);
+      if (actor.scheduled && !actor.mailbox.empty()) {
+        requeue = true;
+      } else if (actor.scheduled) {
+        actor.scheduled = false;
+      }
+    }
+    if (requeue) enqueue_runnable(id);
+  }
+}
+
+}  // namespace cnet::mp

@@ -1,0 +1,86 @@
+// A small actor runtime: serialized-per-actor message processing on a
+// worker-thread pool. This is the substrate for the message-passing
+// execution of balancing networks (mp::NetworkService) — the paper's model
+// explicitly covers "both message passing and shared memory implementations"
+// (§2), and in the message-passing reading every balancer is a process that
+// reacts to token messages.
+//
+// Scheduling: each actor owns a mailbox; delivering to an idle actor puts it
+// on the global run queue; workers pop actors and drain a bounded batch of
+// messages, re-queueing the actor if messages remain. An actor is never
+// executed by two workers at once, so handlers need no internal locking.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cnet::mp {
+
+using ActorId = std::uint32_t;
+
+/// An opaque message: a 64-bit payload plus a context pointer. Network
+/// tokens carry their response cell through `context`.
+struct Message {
+  std::uint64_t payload = 0;
+  void* context = nullptr;
+};
+
+class ActorRuntime {
+ public:
+  using Handler = std::function<void(ActorId self, const Message&)>;
+
+  /// Spawns `workers` threads. Actors must all be added before run() —
+  /// see add_actor.
+  explicit ActorRuntime(std::uint32_t workers);
+
+  /// Drains and joins. All expected replies must have been received by the
+  /// caller before destruction (no new sends may race the shutdown).
+  ~ActorRuntime();
+
+  ActorRuntime(const ActorRuntime&) = delete;
+  ActorRuntime& operator=(const ActorRuntime&) = delete;
+
+  /// Registers an actor; returns its id. Not thread-safe; call during setup
+  /// (before any send).
+  ActorId add_actor(Handler handler);
+
+  /// Starts the workers. Call once after all actors are registered.
+  void start();
+
+  /// Delivers a message; callable from any thread and from handlers.
+  void send(ActorId to, const Message& message);
+
+  std::uint64_t messages_processed() const;
+
+ private:
+  struct Actor {
+    Handler handler;
+    std::mutex mutex;
+    std::deque<Message> mailbox;
+    bool scheduled = false;  // guarded by mutex
+  };
+
+  static constexpr int kBatch = 16;
+
+  void worker_loop();
+  void enqueue_runnable(ActorId id);
+  bool dequeue_runnable(ActorId& id);
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::uint32_t worker_count_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<ActorId> run_queue_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> processed_{0};
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace cnet::mp

@@ -1,0 +1,53 @@
+#include "mp/network_service.h"
+
+#include "util/assert.h"
+
+namespace cnet::mp {
+
+NetworkService::NetworkService(topo::Network net, Options options)
+    : net_(std::move(net)),
+      runtime_(options.workers),
+      node_counts_(net_.node_count(), 0),
+      output_counts_(net_.output_width(), 0) {
+  // Balancer actors: route the token to output port (count++ mod fan_out)
+  // and forward it to the next balancer actor or counter actor.
+  node_actors_.reserve(net_.node_count());
+  for (topo::NodeId id = 0; id < net_.node_count(); ++id) {
+    node_actors_.push_back(runtime_.add_actor([this, id](ActorId, const Message& message) {
+      const topo::Node& node = net_.node(id);
+      const std::uint64_t t = node_counts_[id]++;
+      const topo::OutLink next = node.out[t % node.fan_out];
+      if (next.node == topo::kNoNode) {
+        runtime_.send(counter_actors_[next.port], message);
+      } else {
+        runtime_.send(node_actors_[next.node], message);
+      }
+    }));
+  }
+  // Counter actors: assign the value and wake the client.
+  counter_actors_.reserve(net_.output_width());
+  for (std::uint32_t port = 0; port < net_.output_width(); ++port) {
+    counter_actors_.push_back(runtime_.add_actor([this, port](ActorId, const Message& message) {
+      const std::uint64_t a = output_counts_[port]++;
+      auto* cell = static_cast<ResponseCell*>(message.context);
+      {
+        const std::scoped_lock lock(cell->mutex);
+        cell->value = port + a * net_.output_width();
+        cell->done = true;
+      }
+      cell->cv.notify_one();
+    }));
+  }
+  runtime_.start();
+}
+
+std::uint64_t NetworkService::count(std::uint32_t input) {
+  CNET_CHECK(input < net_.input_width());
+  ResponseCell cell;
+  runtime_.send(node_actors_[net_.inputs()[input].node], Message{0, &cell});
+  std::unique_lock lock(cell.mutex);
+  cell.cv.wait(lock, [&cell] { return cell.done; });
+  return cell.value;
+}
+
+}  // namespace cnet::mp

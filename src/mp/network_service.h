@@ -1,0 +1,58 @@
+// Message-passing execution of a balancing network: every balancer and every
+// output counter is an actor; a counting operation is a token message that
+// hops from actor to actor and finally delivers its value back to the
+// waiting client.
+//
+// This realizes the message-passing half of the paper's §2 model on real
+// threads: balancer transitions are serialized per actor (instantaneous
+// w.r.t. each other), and link traversal times are whatever the scheduler
+// makes them — which is exactly the c1/c2 variability the paper studies.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "mp/actor_runtime.h"
+#include "topo/network.h"
+
+namespace cnet::mp {
+
+class NetworkService {
+ public:
+  struct Options {
+    std::uint32_t workers = 2;
+  };
+
+  /// Takes a copy of the topology and starts the workers.
+  explicit NetworkService(topo::Network net) : NetworkService(std::move(net), Options()) {}
+  NetworkService(topo::Network net, Options options);
+
+  /// Performs one counting operation through network input `input`;
+  /// blocks until the token's value message arrives. Thread-safe.
+  std::uint64_t count(std::uint32_t input);
+
+  const topo::Network& network() const { return net_; }
+  std::uint64_t messages_processed() const { return runtime_.messages_processed(); }
+
+ private:
+  struct ResponseCell {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::uint64_t value = 0;
+  };
+
+  topo::Network net_;
+  ActorRuntime runtime_;
+  std::vector<ActorId> node_actors_;     ///< per balancer node
+  std::vector<ActorId> counter_actors_;  ///< per network output
+
+  // Actor-local state, touched only by the owning actor's handler.
+  std::vector<std::uint64_t> node_counts_;
+  std::vector<std::uint64_t> output_counts_;
+};
+
+}  // namespace cnet::mp

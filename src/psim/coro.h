@@ -1,0 +1,121 @@
+// Coroutine task type for simulated processors.
+//
+// A psim::Coro<T> is a lazily-started coroutine that suspends whenever the
+// simulated processor must wait for the machine (a memory response, a cycle
+// delay). Nested calls compose via symmetric transfer: `co_await child`
+// starts the child inline, and when the child finishes it resumes the
+// parent directly. Only leaf awaitables (Engine::sleep, Memory accesses)
+// interact with the event queue, so an entire processor call stack suspends
+// and resumes as one unit — exactly like a thread blocked in a simulator.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace cnet::psim {
+
+template <typename T>
+class Coro;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+    // Resume whoever co_awaited us; root tasks return to the engine loop.
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct Promise {
+  std::coroutine_handle<> continuation;
+  T value{};
+
+  Coro<T> get_return_object();
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void return_value(T v) { value = std::move(v); }
+  [[noreturn]] void unhandled_exception() { std::terminate(); }
+};
+
+template <>
+struct Promise<void> {
+  std::coroutine_handle<> continuation;
+
+  Coro<void> get_return_object();
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void return_void() const noexcept {}
+  [[noreturn]] void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace detail
+
+/// Owning handle to a lazily-started simulated-processor coroutine.
+template <typename T = void>
+class [[nodiscard]] Coro {
+ public:
+  using promise_type = detail::Promise<T>;
+
+  Coro() = default;
+  explicit Coro(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Coro(Coro&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Coro& operator=(Coro&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() { destroy(); }
+
+  /// Begin executing a root task; it runs until its first suspension. Child
+  /// coroutines are started by co_await, not by start().
+  void start() { handle_.resume(); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  // Awaiter interface: co_await starts the child and suspends the parent
+  // until the child's final_suspend resumes it.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer into the child
+  }
+  T await_resume() {
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(handle_.promise().value);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Coro<T> Promise<T>::get_return_object() {
+  return Coro<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+
+inline Coro<void> Promise<void>::get_return_object() {
+  return Coro<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace cnet::psim

@@ -1,0 +1,76 @@
+// Cycle-level discrete-event engine: the heart of the Proteus-substitute
+// multiprocessor simulator (see DESIGN.md §2 for the substitution argument).
+//
+// The engine is single-threaded and fully deterministic: events fire in
+// (cycle, sequence) order, so two runs with the same parameters and seed
+// produce identical histories. Simulated processors are Coro<> coroutines
+// that suspend on Engine::sleep and on Memory accesses.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cnet::psim {
+
+using Cycle = std::uint64_t;
+
+class Engine {
+ public:
+  Cycle now() const { return now_; }
+
+  /// Resume `h` at absolute cycle `at`.
+  void schedule(std::coroutine_handle<> h, Cycle at) {
+    CNET_CHECK_MSG(at >= now_, "cannot schedule into the simulated past");
+    queue_.push(Event{at, next_seq_++, h});
+  }
+
+  /// Run until no events remain (all processors finished or parked).
+  void run() {
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      ev.handle.resume();
+    }
+  }
+
+  std::uint64_t events_processed() const { return next_seq_; }
+
+  /// Awaitable: suspend the current processor for `dt` cycles. sleep(0)
+  /// continues immediately without touching the event queue.
+  auto sleep(Cycle dt) {
+    struct Awaiter {
+      Engine& engine;
+      Cycle dt;
+      bool await_ready() const noexcept { return dt == 0; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine.schedule(h, engine.now_ + dt);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+ private:
+  struct Event {
+    Cycle at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+  struct After {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, After> queue_;
+};
+
+}  // namespace cnet::psim

@@ -1,0 +1,151 @@
+#include "psim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/assert.h"
+
+namespace cnet::psim {
+namespace {
+
+/// One simulated machine run; lives for the duration of run_workload.
+class Machine {
+ public:
+  Machine(const topo::Network& net, const MachineParams& params)
+      : net_(&net), params_(params), memory_(engine_, params.mem) {
+    CNET_CHECK(params.processors >= 1);
+
+    balancers_.reserve(net.node_count());
+    for (topo::NodeId id = 0; id < net.node_count(); ++id) {
+      const topo::Node& node = net.node(id);
+      if (params.use_diffraction && node.fan_in == 1 && node.fan_out == 2) {
+        PrismParams prism = params.prism;
+        if (prism.width == 0) {
+          // Multi-prism scaling of [20]: the root prism is sized to the
+          // machine and each level down halves it.
+          const std::uint32_t root = std::min(8u, std::max(2u, params.processors / 8));
+          prism.width = std::max(2u, root >> (node.layer - 1));
+        }
+        balancers_.push_back(std::make_unique<DiffractingBalancer>(
+            engine_, memory_, params.processors, prism));
+      } else {
+        balancers_.push_back(std::make_unique<McsToggleBalancer>(
+            engine_, memory_, params.processors, node.fan_out));
+      }
+    }
+    counters_.reserve(net.output_width());
+    for (std::uint32_t i = 0; i < net.output_width(); ++i) counters_.push_back(memory_.alloc(0));
+
+    const auto delayed =
+        static_cast<std::uint32_t>(std::lround(params.delayed_fraction *
+                                               static_cast<double>(params.processors)));
+    Rng seeder(params.seed);
+    for (std::uint32_t p = 0; p < params.processors; ++p) {
+      rngs_.emplace_back(seeder.split());
+      delayed_.push_back(p < delayed);
+    }
+    // The delayed set is a uniform random subset of the processors (the
+    // paper does not pin F to particular processors); with a deterministic
+    // assignment the slow tokens would be spread evenly over the input
+    // wires, creating an artificially symmetric starvation pattern.
+    for (std::uint32_t p = params.processors; p > 1; --p) {
+      const auto j = static_cast<std::uint32_t>(seeder.below(p));
+      const bool tmp = delayed_[p - 1];
+      delayed_[p - 1] = delayed_[j];
+      delayed_[j] = tmp;
+    }
+  }
+
+  MachineResult run() {
+    procs_.reserve(params_.processors);
+    for (std::uint32_t p = 0; p < params_.processors; ++p) procs_.push_back(processor(p));
+    for (auto& proc : procs_) proc.start();
+    engine_.run();
+    for (const auto& proc : procs_) CNET_CHECK_MSG(proc.done(), "processor parked mid-run");
+
+    MachineResult result;
+    result.history = std::move(history_);
+    result.analysis = lin::check(result.history);
+    for (const lin::Operation& op : result.history) {
+      result.op_latency.add(op.end - op.start);
+    }
+    Summary tog;
+    std::vector<Summary> layer_tog(net_->depth());
+    result.layers.resize(net_->depth());
+    for (topo::NodeId id = 0; id < net_->node_count(); ++id) {
+      const BalancerStats& stats = balancers_[id]->stats();
+      const std::uint32_t layer = net_->node(id).layer - 1;
+      tog.merge(stats.tog_wait);
+      layer_tog[layer].merge(stats.tog_wait);
+      result.layers[layer].toggles += stats.toggles;
+      result.layers[layer].diffractions += stats.diffractions;
+      result.toggles += stats.toggles;
+      result.diffractions += stats.diffractions;
+    }
+    for (std::uint32_t l = 0; l < net_->depth(); ++l)
+      result.layers[l].avg_tog = layer_tog[l].mean();
+    result.avg_tog = tog.mean();
+    result.avg_c2_over_c1 =
+        tog.count() == 0
+            ? 0.0
+            : (tog.mean() + static_cast<double>(params_.wait_cycles)) / tog.mean();
+    result.makespan = engine_.now();
+    result.memory_accesses = memory_.accesses();
+    result.events = engine_.events_processed();
+    return result;
+  }
+
+ private:
+  Coro<void> processor(std::uint32_t p) {
+    Rng& rng = rngs_[p];
+    // Paper semantics: "the execution is stopped when 5000 operations were
+    // performed" — processors issue continuously until the *completed* count
+    // reaches the target, so fast processors keep traversing while delayed
+    // tokens are still in flight (slightly overshooting the target).
+    while (completed_ < params_.total_ops) {
+      const auto start = static_cast<double>(engine_.now());
+      topo::OutLink at = net_->inputs()[p % net_->input_width()];
+      while (at.node != topo::kNoNode) {
+        const std::uint32_t port = co_await balancers_[at.node]->traverse(p, rng);
+        const Cycle wait = post_node_wait(p, rng);
+        if (wait != 0) co_await engine_.sleep(wait);
+        co_await engine_.sleep(params_.hop_cycles);
+        at = net_->node(at.node).out[port];
+      }
+      const std::uint64_t nth = co_await memory_.fetch_add(counters_[at.port], 1);
+      const std::uint64_t value = at.port + nth * net_->output_width();
+      ++completed_;
+      history_.push_back(
+          lin::Operation{start, static_cast<double>(engine_.now()), value, p});
+    }
+  }
+
+  Cycle post_node_wait(std::uint32_t p, Rng& rng) {
+    if (params_.random_wait) {
+      return params_.wait_cycles == 0 ? 0 : rng.between(0, params_.wait_cycles);
+    }
+    return delayed_[p] ? params_.wait_cycles : 0;
+  }
+
+  const topo::Network* net_;
+  MachineParams params_;
+  Engine engine_;
+  Memory memory_;
+  std::vector<std::unique_ptr<Balancer>> balancers_;
+  std::vector<std::uint32_t> counters_;
+  std::vector<Rng> rngs_;
+  std::vector<bool> delayed_;
+  std::vector<Coro<void>> procs_;
+  std::uint64_t completed_ = 0;
+  lin::History history_;
+};
+
+}  // namespace
+
+MachineResult run_workload(const topo::Network& net, const MachineParams& params) {
+  Machine machine(net, params);
+  return machine.run();
+}
+
+}  // namespace cnet::psim

@@ -1,0 +1,74 @@
+// The §5 benchmark driver: n simulated processors repeatedly traverse a
+// counting network built from simulated balancers, a fraction F of them
+// waiting W cycles after every node, until `total_ops` operations have been
+// performed. Produces the operation history (for the Def 2.4 analysis), the
+// measured toggle wait Tog, and the paper's average-c2/c1 estimate
+// (Tog + W) / Tog — i.e., everything Figures 5-7 plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lin/checker.h"
+#include "lin/history.h"
+#include "psim/balancer.h"
+#include "psim/engine.h"
+#include "psim/memory.h"
+#include "topo/network.h"
+#include "util/stats.h"
+
+namespace cnet::psim {
+
+struct MachineParams {
+  std::uint32_t processors = 4;
+  std::uint64_t total_ops = 5000;
+
+  /// Fraction of processors that wait `wait_cycles` after traversing a node
+  /// (the paper's F; the first round(F*n) processors are the delayed ones).
+  double delayed_fraction = 0.25;
+  Cycle wait_cycles = 1000;
+
+  /// §5 control scenario: *every* processor waits a uniformly random number
+  /// of cycles in [0, wait_cycles] after each node (instead of the
+  /// deterministic F/W scheme).
+  bool random_wait = false;
+
+  std::uint64_t seed = 1;
+
+  /// Non-memory work when hopping from one node to the next (address
+  /// arithmetic etc.).
+  Cycle hop_cycles = 4;
+
+  MemParams mem{};
+
+  /// Use DiffractingBalancer for 1-in/2-out nodes (the diffracting-tree
+  /// configuration); all other nodes use the MCS toggle balancer.
+  bool use_diffraction = false;
+  PrismParams prism{};
+};
+
+struct LayerStats {
+  double avg_tog = 0.0;
+  std::uint64_t toggles = 0;
+  std::uint64_t diffractions = 0;
+};
+
+struct MachineResult {
+  lin::History history;
+  lin::CheckResult analysis;
+  std::vector<LayerStats> layers;  ///< per network layer (1-based -> index 0)
+
+  Summary op_latency;           ///< per-operation start->completion cycles
+  double avg_tog = 0.0;         ///< mean toggle wait over all balancers (cycles)
+  double avg_c2_over_c1 = 0.0;  ///< (Tog + W) / Tog, the paper's Figure 7 metric
+  std::uint64_t toggles = 0;
+  std::uint64_t diffractions = 0;
+  Cycle makespan = 0;           ///< cycle at which the last operation completed
+  std::uint64_t memory_accesses = 0;
+  std::uint64_t events = 0;
+};
+
+/// Runs the workload to completion; deterministic in (net, params).
+MachineResult run_workload(const topo::Network& net, const MachineParams& params);
+
+}  // namespace cnet::psim

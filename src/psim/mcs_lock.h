@@ -1,0 +1,44 @@
+// Mellor-Crummey & Scott queue lock over simulated shared memory [18].
+//
+// This is the lock the paper uses to protect every balancer in the bitonic
+// network ("Every balancer is implemented as a critical section protected by
+// an MCS queue-lock"). Its FIFO handoff is what makes the toggle wait Tog a
+// clean queueing-delay measurement in Figure 7.
+//
+// Queue nodes live in simulated memory, one per (lock, processor): a
+// processor holds at most one pending acquisition per lock at a time, which
+// is all the balancer traversal code needs. Spinning is local (each waiter
+// spins on its own `locked` word), as in the original algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psim/coro.h"
+#include "psim/memory.h"
+
+namespace cnet::psim {
+
+class McsLock {
+ public:
+  /// `max_procs` bounds the processor ids that may acquire the lock.
+  McsLock(Memory& mem, std::uint32_t max_procs);
+
+  /// Blocks (in simulated time) until `proc` holds the lock.
+  Coro<void> acquire(std::uint32_t proc);
+
+  /// Releases the lock; `proc` must be the current holder.
+  Coro<void> release(std::uint32_t proc);
+
+ private:
+  // Queue-node ids in the tail word are proc + 1; 0 means "no waiter".
+  Memory* mem_;
+  std::uint32_t tail_;
+  struct QNode {
+    std::uint32_t next;    ///< address: successor's id or 0
+    std::uint32_t locked;  ///< address: 1 while the owner must keep waiting
+  };
+  std::vector<QNode> qnodes_;
+};
+
+}  // namespace cnet::psim

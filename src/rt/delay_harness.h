@@ -1,0 +1,44 @@
+// The §5 experiment on real threads: n threads hammer a counting network
+// built over std::atomic, a fraction F of them busy-waiting `wait_ns` after
+// every node traversal, and the recorded history is analysed per Def 2.4.
+//
+// This is the "does the paper's conclusion hold on actual hardware?"
+// companion to psim::run_workload: timestamps come from steady_clock, the
+// schedule from the OS, and the results are inherently non-deterministic —
+// tests assert invariants (counting correctness, violation absence at
+// wait_ns == 0) rather than exact counts.
+#pragma once
+
+#include <cstdint>
+
+#include "lin/checker.h"
+#include "lin/history.h"
+#include "rt/network_counter.h"
+#include "topo/network.h"
+
+namespace cnet::rt {
+
+struct ExperimentParams {
+  std::uint32_t threads = 4;
+  std::uint64_t total_ops = 100000;
+  double delayed_fraction = 0.25;  ///< F
+  std::uint64_t wait_ns = 0;       ///< W, as a busy-wait after each node
+  CounterOptions counter{};
+  std::uint64_t seed = 1;          ///< selects the delayed thread subset
+};
+
+struct ExperimentResult {
+  lin::History history;            ///< times in nanoseconds since run start
+  lin::CheckResult analysis;
+  double makespan_ns = 0.0;
+  double throughput_ops_per_sec = 0.0;
+  bool counting_ok = false;        ///< values were exactly 0..n-1
+  std::string counting_message;
+};
+
+/// Runs the experiment to completion. The per-node wait is applied by a
+/// wrapper around NetworkCounter::next, so the counter under test is the
+/// unmodified production implementation.
+ExperimentResult run_experiment(const topo::Network& net, const ExperimentParams& params);
+
+}  // namespace cnet::rt

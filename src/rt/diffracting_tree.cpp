@@ -1,0 +1,13 @@
+#include "rt/diffracting_tree.h"
+
+#include "topo/builders.h"
+
+namespace cnet::rt {
+
+DiffractingTree::DiffractingTree(std::uint32_t width, CounterOptions options)
+    : counter_(topo::make_counting_tree(width), [&] {
+        options.diffraction = true;  // a diffracting tree is defined by its prisms
+        return options;
+      }()) {}
+
+}  // namespace cnet::rt

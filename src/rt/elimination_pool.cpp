@@ -1,0 +1,119 @@
+#include "rt/elimination_pool.h"
+
+namespace cnet::rt {
+namespace {
+
+Rng& local_rng() {
+  static std::atomic<std::uint64_t> counter{0xe11f00d5eedULL};
+  thread_local Rng rng(counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+  return rng;
+}
+
+}  // namespace
+
+EliminationPool::EliminationPool(Options options)
+    : options_(options), leaves_(options.leaves) {
+  CNET_CHECK_MSG(topo::is_pow2(options.leaves) && options.leaves >= 2,
+                 "leaves must be a power of two >= 2");
+  CNET_CHECK(options.prism_width >= 1);
+  nodes_.reserve(options.leaves - 1);
+  for (std::uint32_t i = 0; i + 1 < options.leaves; ++i) {
+    nodes_.push_back(std::make_unique<Node>(options));
+  }
+}
+
+void EliminationPool::push(std::uint32_t thread_id, Item item) {
+  CNET_CHECK(thread_id < options_.max_threads);
+  CNET_CHECK_MSG((item & (Node::kWaiting | Node::kTaken)) == 0,
+                 "items must fit in 62 bits");
+  Rng& rng = local_rng();
+  std::size_t index = 0;  // root
+  for (;;) {
+    Node& node = *nodes_[index];
+
+    // Try to eliminate: camp on a random prism slot with our item and wait
+    // for a pop to take it.
+    auto& slot = *node.prism[rng.below(node.prism.size())];
+    std::uint64_t expected = 0;
+    if (slot.compare_exchange_strong(expected, Node::kWaiting | item,
+                                     std::memory_order_acq_rel)) {
+      for (std::uint32_t i = 0; i < node.spin; ++i) {
+        if (slot.load(std::memory_order_acquire) == Node::kTaken) {
+          slot.store(0, std::memory_order_release);
+          eliminations_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        cpu_relax();
+      }
+      expected = Node::kWaiting | item;
+      if (!slot.compare_exchange_strong(expected, 0, std::memory_order_acq_rel)) {
+        // A pop took the item between timeout and retraction.
+        SpinWaiter waiter;
+        while (slot.load(std::memory_order_acquire) != Node::kTaken) waiter.wait();
+        slot.store(0, std::memory_order_release);
+        eliminations_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+
+    // No elimination: descend through the push toggle.
+    const std::uint64_t t = node.push_toggle.fetch_add(1, std::memory_order_acq_rel);
+    index = 2 * index + 1 + (t & 1);
+    if (index >= nodes_.size()) {
+      Leaf& leaf = leaves_[index - nodes_.size()];
+      const std::scoped_lock lock(leaf.mutex);
+      leaf.items.push_back(item);
+      return;
+    }
+  }
+}
+
+EliminationPool::Item EliminationPool::pop(std::uint32_t thread_id) {
+  CNET_CHECK(thread_id < options_.max_threads);
+  Rng& rng = local_rng();
+  std::size_t index = 0;
+  for (;;) {
+    Node& node = *nodes_[index];
+
+    // Try to eliminate with a camped push.
+    auto& slot = *node.prism[rng.below(node.prism.size())];
+    const std::uint64_t seen = slot.load(std::memory_order_acquire);
+    if ((seen & Node::kWaiting) != 0) {
+      std::uint64_t expected = seen;
+      if (slot.compare_exchange_strong(expected, Node::kTaken, std::memory_order_acq_rel)) {
+        return seen & ~Node::kWaiting;
+      }
+    }
+
+    // No elimination: descend through the pop toggle (mirrors the pushes).
+    const std::uint64_t t = node.pop_toggle.fetch_add(1, std::memory_order_acq_rel);
+    index = 2 * index + 1 + (t & 1);
+    if (index >= nodes_.size()) {
+      Leaf& leaf = leaves_[index - nodes_.size()];
+      // The matching push may still be in flight: wait for the bucket.
+      SpinWaiter waiter;
+      for (;;) {
+        {
+          const std::scoped_lock lock(leaf.mutex);
+          if (!leaf.items.empty()) {
+            const Item item = leaf.items.back();  // LIFO bucket
+            leaf.items.pop_back();
+            return item;
+          }
+        }
+        waiter.wait();
+      }
+    }
+  }
+}
+
+std::size_t EliminationPool::leaf_size() const {
+  std::size_t total = 0;
+  for (const Leaf& leaf : leaves_) {
+    const std::scoped_lock lock(leaf.mutex);
+    total += leaf.items.size();
+  }
+  return total;
+}
+
+}  // namespace cnet::rt

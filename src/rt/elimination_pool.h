@@ -1,0 +1,101 @@
+// Elimination-tree pool, after Shavit & Touitou [20] ("Elimination Trees and
+// the Construction of Pools and Stacks"), the construction the paper's §5
+// diffracting balancers come from.
+//
+// A pool holds items without ordering guarantees: push(x) inserts, pop()
+// removes *some* item. The elimination tree is a counting-tree skeleton in
+// which every node carries
+//   * an elimination prism: a push and a pop that collide there exchange the
+//     item directly and both complete without descending further — under
+//     symmetric load most operations finish at the root in O(1);
+//   * two toggles, one for pushes and one for pops. Because both sides
+//     toggle identically, the k-th non-eliminated pop at a node follows the
+//     k-th non-eliminated push, so a pop's leaf always (eventually) holds
+//     the item a matching push deposited.
+// Leaves are small lock-protected LIFO buckets.
+//
+// pop() blocks (spinning with yield) until an item is available on its
+// path; use it only in workloads where pops are matched by pushes, as with
+// any pool. All operations are linearizable-free-form: the pool guarantees
+// no loss and no duplication, not FIFO/LIFO order — exactly the trade the
+// paper studies for counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "topo/builders.h"
+#include "util/assert.h"
+#include "util/cacheline.h"
+#include "util/rng.h"
+#include "util/spin.h"
+
+namespace cnet::rt {
+
+class EliminationPool {
+ public:
+  using Item = std::uint64_t;
+
+  struct Options {
+    std::uint32_t leaves = 8;       ///< power of two; tree has leaves-1 nodes
+    std::uint32_t prism_width = 4;  ///< elimination slots per node
+    std::uint32_t prism_spin = 256; ///< camping iterations before descending
+    std::uint32_t max_threads = 256;
+  };
+
+  EliminationPool() : EliminationPool(Options()) {}
+  explicit EliminationPool(Options options);
+
+  /// Inserts an item. `thread_id` must be unique among concurrent callers.
+  void push(std::uint32_t thread_id, Item item);
+
+  /// Removes and returns some item; blocks until one is available.
+  Item pop(std::uint32_t thread_id);
+
+  /// Items eliminated at prisms (pairs count once); for tests/diagnostics.
+  std::uint64_t eliminations() const {
+    return eliminations_.load(std::memory_order_relaxed);
+  }
+
+  /// Total items currently buffered in the leaves (quiescently accurate).
+  std::size_t leaf_size() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+
+  Options options_;
+  std::vector<std::unique_ptr<Node>> nodes_;  ///< heap order: children 2i+1, 2i+2
+  std::vector<Leaf> leaves_;
+  std::atomic<std::uint64_t> eliminations_{0};
+};
+
+struct EliminationPool::Node {
+  // Prism slot protocol (same shape as the diffracting balancer, but the
+  // waiter is always a *push* carrying its item; a pop that finds a waiting
+  // push takes the item directly):
+  //   0                      empty
+  //   kWaiting | item        a push camped with its item
+  //   kTaken                 a pop claimed the item; push may leave
+  static constexpr std::uint64_t kWaiting = 1ull << 62;
+  static constexpr std::uint64_t kTaken = 1ull << 63;
+
+  explicit Node(const Options& options)
+      : prism(options.prism_width), spin(options.prism_spin) {}
+
+  std::vector<Padded<std::atomic<std::uint64_t>>> prism;
+  std::uint32_t spin;
+  alignas(kCacheLine) std::atomic<std::uint64_t> push_toggle{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> pop_toggle{0};
+};
+
+struct EliminationPool::Leaf {
+  mutable std::mutex mutex;
+  std::deque<Item> items;
+};
+
+}  // namespace cnet::rt

@@ -1,0 +1,87 @@
+// Elimination-tree stack, after Shavit & Touitou [20].
+//
+// Unlike the pool (which gives pushes and pops independent toggles), the
+// stack's balancers carry a single *signed* toggle that pushes increment and
+// pops decrement. A pop therefore retraces the route of the most recent
+// unmatched push: sequentially the structure is exactly LIFO, and
+// concurrently it keeps the pool guarantees (no loss, no duplication,
+// every pop eventually served while pops do not outnumber pushes) with
+// LIFO-flavored ordering. Elimination prisms at every node let concurrent
+// push/pop pairs cancel in O(1) without touching the toggles at all — which
+// is also what keeps the toggles near zero under symmetric load.
+//
+// Routing invariant (and why pops never strand): a pop that moves the
+// toggle from k to k-1 and the push that moves it from k-1 to k both route
+// by parity of k-1, so slot-paired operations descend into the same child
+// all the way to a common leaf bucket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "topo/builders.h"
+#include "util/assert.h"
+#include "util/cacheline.h"
+#include "util/rng.h"
+#include "util/spin.h"
+
+namespace cnet::rt {
+
+class EliminationStack {
+ public:
+  using Item = std::uint64_t;
+
+  struct Options {
+    std::uint32_t leaves = 8;        ///< power of two
+    std::uint32_t prism_width = 4;
+    std::uint32_t prism_spin = 256;
+    std::uint32_t max_threads = 256;
+  };
+
+  EliminationStack() : EliminationStack(Options()) {}
+  explicit EliminationStack(Options options);
+
+  /// Pushes an item (must fit in 62 bits).
+  void push(std::uint32_t thread_id, Item item);
+
+  /// Pops an item; blocks (spin+yield) until one is available on its route.
+  Item pop(std::uint32_t thread_id);
+
+  std::uint64_t eliminations() const {
+    return eliminations_.load(std::memory_order_relaxed);
+  }
+  std::size_t leaf_size() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+
+  Options options_;
+  std::vector<std::unique_ptr<Node>> nodes_;  ///< heap order
+  std::vector<Leaf> leaves_;
+  std::atomic<std::uint64_t> eliminations_{0};
+};
+
+struct EliminationStack::Node {
+  static constexpr std::uint64_t kWaiting = 1ull << 62;
+  static constexpr std::uint64_t kTaken = 1ull << 63;
+
+  explicit Node(const Options& options)
+      : prism(options.prism_width), spin(options.prism_spin) {}
+
+  std::vector<Padded<std::atomic<std::uint64_t>>> prism;
+  std::uint32_t spin;
+  /// Signed net push count (pushes - pops), stored two's-complement.
+  alignas(kCacheLine) std::atomic<std::int64_t> toggle{0};
+};
+
+struct EliminationStack::Leaf {
+  mutable std::mutex mutex;
+  std::deque<Item> items;
+};
+
+}  // namespace cnet::rt

@@ -1,0 +1,38 @@
+#include "rt/mcs_lock.h"
+
+#include "util/spin.h"
+
+namespace cnet::rt {
+
+void McsLock::acquire(Node& node) noexcept {
+  node.next.store(nullptr, std::memory_order_relaxed);
+  Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+  if (pred != nullptr) {
+    node.locked.store(true, std::memory_order_relaxed);
+    pred->next.store(&node, std::memory_order_release);
+    SpinWaiter waiter;
+    while (node.locked.load(std::memory_order_acquire)) {
+      waiter.wait();  // local spin on our own cache line, yielding when oversubscribed
+    }
+  }
+}
+
+void McsLock::release(Node& node) noexcept {
+  Node* next = node.next.load(std::memory_order_acquire);
+  if (next == nullptr) {
+    Node* expected = &node;
+    if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return;
+    }
+    // A successor is mid-link; wait for it to publish itself.
+    SpinWaiter waiter;
+    do {
+      waiter.wait();
+      next = node.next.load(std::memory_order_acquire);
+    } while (next == nullptr);
+  }
+  next->locked.store(false, std::memory_order_release);
+}
+
+}  // namespace cnet::rt

@@ -1,0 +1,141 @@
+#include "rt/network_counter.h"
+
+#include <thread>
+
+#include "util/assert.h"
+#include "util/spin.h"
+
+namespace cnet::rt {
+namespace {
+
+constexpr std::uint64_t kPaired = 1ull << 32;
+
+/// Per-thread RNG for prism slot choice (no cross-thread state).
+Rng& local_rng() {
+  static std::atomic<std::uint64_t> counter{0x51ed270b0a1efULL};
+  thread_local Rng rng(counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+  return rng;
+}
+
+}  // namespace
+
+struct NetworkCounter::NodeState {
+  enum class Kind : std::uint8_t { kFetchAdd, kMcsLocked, kPrism };
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> count{0};
+  McsLock lock;
+  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> prism;
+  std::uint32_t prism_width = 0;
+  std::uint32_t prism_spin = 0;
+  std::uint32_t fan_out = 0;
+  Kind kind = Kind::kFetchAdd;
+};
+
+NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
+    : net_(std::move(net)), options_(options) {
+  std::uint32_t auto_width = options_.prism_width;
+  if (auto_width == 0) {
+    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    auto_width = std::min(8u, std::max(2u, hw / 8));
+  }
+
+  nodes_ = std::make_unique<NodeState[]>(net_.node_count());
+  for (topo::NodeId id = 0; id < net_.node_count(); ++id) {
+    const topo::Node& node = net_.node(id);
+    NodeState& state = nodes_[id];
+    state.fan_out = node.fan_out;
+    if (options_.diffraction && node.fan_in == 1 && node.fan_out == 2) {
+      state.kind = NodeState::Kind::kPrism;
+      state.prism_width = std::max(2u, auto_width >> (node.layer - 1));
+      state.prism_spin = options_.prism_spin;
+      state.prism = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(state.prism_width);
+    } else if (options_.mode == BalancerMode::kMcsLocked) {
+      state.kind = NodeState::Kind::kMcsLocked;
+    } else {
+      state.kind = NodeState::Kind::kFetchAdd;
+    }
+  }
+  outputs_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(net_.output_width());
+}
+
+NetworkCounter::~NetworkCounter() = default;
+
+std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t input,
+                                          NodeHook after_node, void* ctx) {
+  CNET_CHECK(input < net_.input_width());
+  CNET_CHECK(thread_id < options_.max_threads);
+  topo::OutLink at = net_.inputs()[input];
+  while (at.node != topo::kNoNode) {
+    const std::uint32_t port = traverse_node(at.node, thread_id);
+    if (after_node != nullptr) after_node(ctx);
+    at = net_.node(at.node).out[port];
+  }
+  const std::uint64_t nth = outputs_[at.port]->fetch_add(1, std::memory_order_acq_rel);
+  return at.port + nth * net_.output_width();
+}
+
+std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_t thread_id) {
+  NodeState& state = nodes_[node_idx];
+  switch (state.kind) {
+    case NodeState::Kind::kFetchAdd: {
+      const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
+      return static_cast<std::uint32_t>(t % state.fan_out);
+    }
+    case NodeState::Kind::kMcsLocked: {
+      McsLock::Guard guard(state.lock);
+      const std::uint64_t t = state.count.load(std::memory_order_relaxed);
+      state.count.store(t + 1, std::memory_order_relaxed);
+      return static_cast<std::uint32_t>(t % state.fan_out);
+    }
+    case NodeState::Kind::kPrism:
+      break;
+  }
+
+  // Prism balancer. Collision-race losses retry; an expired camping window
+  // falls through to the toggle.
+  const std::uint64_t my_id = thread_id + 1;
+  Rng& rng = local_rng();
+  for (int attempt = 0; attempt < 1;) {
+    std::atomic<std::uint64_t>& slot = *state.prism[rng.below(state.prism_width)];
+    std::uint64_t seen = slot.load(std::memory_order_acquire);
+    if (seen == 0) {
+      std::uint64_t expected = 0;
+      if (!slot.compare_exchange_strong(expected, my_id, std::memory_order_acq_rel)) continue;
+      for (std::uint32_t i = 0; i < state.prism_spin; ++i) {
+        if (slot.load(std::memory_order_acquire) == (my_id | kPaired)) {
+          slot.store(0, std::memory_order_release);
+          return 0;
+        }
+        cpu_relax();
+      }
+      expected = my_id;
+      if (!slot.compare_exchange_strong(expected, 0, std::memory_order_acq_rel)) {
+        // A partner paired concurrently with our retraction.
+        SpinWaiter waiter;
+        while (slot.load(std::memory_order_acquire) != (my_id | kPaired)) waiter.wait();
+        slot.store(0, std::memory_order_release);
+        return 0;
+      }
+      ++attempt;  // camping window expired
+      continue;
+    }
+    if ((seen & kPaired) == 0) {
+      if (slot.compare_exchange_strong(seen, seen | kPaired, std::memory_order_acq_rel)) {
+        return 1;
+      }
+    }
+  }
+
+  // Toggle path.
+  const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
+  return static_cast<std::uint32_t>(t % state.fan_out);
+}
+
+std::uint64_t NetworkCounter::issued() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < net_.output_width(); ++i)
+    total += outputs_[i]->load(std::memory_order_acquire);
+  return total;
+}
+
+}  // namespace cnet::rt

@@ -1,0 +1,101 @@
+// Real-thread executor for any topo::Network: the library's production-grade
+// shared counter.
+//
+// Every balancing node becomes one of:
+//  * FetchAdd  — a single atomic traversal counter; the t-th token leaves on
+//                port t mod fan_out. This is the classic lock-free
+//                shared-memory balancer of [4] generalized to any fan-out
+//                (for 2x2 it degenerates to the toggle bit).
+//  * McsLocked — the paper's §5 configuration: the traversal counter inside
+//                a critical section protected by an MCS queue lock.
+//  * Prism     — for 1-in/2-out nodes when diffraction is enabled: the
+//                prism balancer of [21]/[20]; tokens try to pair on a random
+//                prism slot and collided pairs leave on opposite outputs
+//                without touching the toggle.
+//
+// Output port Y_i hands out i, i+w, i+2w, ... via a per-output atomic.
+//
+// Thread identity: callers pass a small dense `thread_id` (unique among
+// concurrent callers) used for prism pairing and the RNG streams. The
+// counter itself is otherwise oblivious to threads; MCS queue nodes live on
+// the caller's stack.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/mcs_lock.h"
+#include "topo/network.h"
+#include "util/cacheline.h"
+#include "util/rng.h"
+
+namespace cnet::rt {
+
+enum class BalancerMode {
+  kFetchAdd,   ///< lock-free atomic balancers
+  kMcsLocked,  ///< balancers as MCS-protected critical sections (§5)
+};
+
+struct CounterOptions {
+  BalancerMode mode = BalancerMode::kFetchAdd;
+  /// Use prism diffraction on 1-in/2-out nodes.
+  bool diffraction = false;
+  /// Prism slots at the root balancer; halves per layer. 0 = auto (max
+  /// hardware concurrency / 8, clamped to [2, 8]).
+  std::uint32_t prism_width = 0;
+  /// Spin iterations a prism waiter camps before falling to the toggle.
+  std::uint32_t prism_spin = 128;
+  /// Maximum concurrent threads (bounds thread_id); used for prism ids.
+  std::uint32_t max_threads = 256;
+};
+
+class NetworkCounter {
+ public:
+  /// Takes a copy of the topology, so the counter is self-contained.
+  explicit NetworkCounter(topo::Network net, CounterOptions options = {});
+  ~NetworkCounter();
+
+  NetworkCounter(const NetworkCounter&) = delete;
+  NetworkCounter& operator=(const NetworkCounter&) = delete;
+
+  /// Routes one token entering at `input`; returns the counter value.
+  /// Thread-safe; `thread_id` must be < options.max_threads and unique among
+  /// concurrent callers.
+  std::uint64_t next(std::uint32_t thread_id, std::uint32_t input) {
+    return next_hooked(thread_id, input, nullptr, nullptr);
+  }
+
+  /// Called after each node traversal when instrumenting a token's walk
+  /// (the delay harness injects the paper's W-cycle waits through this).
+  using NodeHook = void (*)(void* ctx);
+
+  /// As next(), invoking `after_node(ctx)` after every node traversal.
+  std::uint64_t next_hooked(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
+                            void* ctx);
+
+  /// Convenience for single-input networks (trees) or "any input" use:
+  /// enters at input thread_id mod input_width.
+  std::uint64_t next(std::uint32_t thread_id) {
+    return next(thread_id, thread_id % net_.input_width());
+  }
+
+  const topo::Network& network() const { return net_; }
+
+  /// Tokens that exited so far (sum over outputs); linearizably exact only
+  /// in quiescence.
+  std::uint64_t issued() const;
+
+ private:
+  struct NodeState;
+
+  std::uint32_t traverse_node(std::uint32_t node_idx, std::uint32_t thread_id);
+
+  topo::Network net_;
+  CounterOptions options_;
+  std::unique_ptr<NodeState[]> nodes_;
+  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> outputs_;
+};
+
+}  // namespace cnet::rt

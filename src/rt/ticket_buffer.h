@@ -1,0 +1,66 @@
+// Producer/consumer buffer driven by counting networks — the FIFO-buffer
+// application the paper's introduction cites ("shared counters, FIFO
+// buffers, priority queues").
+//
+// Two counting networks hand out enqueue and dequeue tickets; ticket t maps
+// to ring slot t mod capacity with a per-slot sequence number (so a slot is
+// reused only after its previous occupant left). Because each counter emits
+// every value exactly once, no element is lost or duplicated, and elements
+// leave in *ticket* order. Whether ticket order matches real-time order is
+// precisely the linearizability question of the paper: with c2 <= 2*c1
+// conditions it does (Cor 3.9); under heavy timing anomalies an element
+// enqueued strictly later can leave first.
+//
+// enqueue() blocks while the buffer is full; dequeue() blocks while the
+// matching element has not arrived.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "rt/network_counter.h"
+#include "topo/builders.h"
+#include "util/cacheline.h"
+#include "util/spin.h"
+
+namespace cnet::rt {
+
+class TicketBuffer {
+ public:
+  using Item = std::uint64_t;
+
+  struct Options {
+    std::uint32_t capacity = 1024;       ///< ring size (power of two)
+    std::uint32_t network_width = 8;     ///< width of the ticket networks
+    std::uint32_t max_threads = 256;
+  };
+
+  TicketBuffer() : TicketBuffer(Options()) {}
+  explicit TicketBuffer(Options options);
+
+  /// Blocks while full. `thread_id` as in NetworkCounter.
+  void enqueue(std::uint32_t thread_id, Item item);
+
+  /// Blocks while empty; returns the item with the next dequeue ticket.
+  Item dequeue(std::uint32_t thread_id);
+
+  /// Elements enqueued minus dequeued (racy snapshot).
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(enqueue_tickets_.issued()) -
+           static_cast<std::int64_t>(dequeue_tickets_.issued());
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> sequence{0};
+    Item item = 0;
+  };
+
+  Options options_;
+  NetworkCounter enqueue_tickets_;
+  NetworkCounter dequeue_tickets_;
+  std::unique_ptr<Padded<Slot>[]> slots_;
+};
+
+}  // namespace cnet::rt

@@ -1,0 +1,58 @@
+#include "sim/delay_model.h"
+
+#include "util/assert.h"
+
+namespace cnet::sim {
+
+FixedDelay::FixedDelay(double c) : c_(c) { CNET_CHECK(c > 0.0); }
+
+UniformDelay::UniformDelay(double c1, double c2) : c1_(c1), c2_(c2) {
+  CNET_CHECK(c1 > 0.0 && c2 >= c1);
+}
+
+double UniformDelay::link_delay(TokenId, std::uint32_t, Rng& rng) {
+  return c1_ + (c2_ - c1_) * rng.unit();
+}
+
+PaceModel::PaceModel(double default_pace) : default_pace_(default_pace) {
+  CNET_CHECK(default_pace > 0.0);
+}
+
+PaceModel::TokenPlan PaceModel::default_plan() const {
+  TokenPlan plan;
+  plan.pace = default_pace_;
+  return plan;
+}
+
+void PaceModel::set_pace(TokenId token, double pace) {
+  CNET_CHECK(pace > 0.0);
+  auto [it, inserted] = plans_.try_emplace(token, default_plan());
+  it->second.pace = pace;
+}
+
+void PaceModel::set_link_delay(TokenId token, std::uint32_t layer, double delay) {
+  CNET_CHECK(delay > 0.0);
+  auto [it, inserted] = plans_.try_emplace(token, default_plan());
+  it->second.per_layer[layer] = delay;
+}
+
+void PaceModel::set_pace_from_layer(TokenId token, std::uint32_t from_layer, double pace) {
+  CNET_CHECK(pace > 0.0);
+  auto [it, inserted] = plans_.try_emplace(token, default_plan());
+  it->second.has_tail = true;
+  it->second.tail_from = from_layer;
+  it->second.tail_pace = pace;
+}
+
+double PaceModel::link_delay(TokenId token, std::uint32_t layer, Rng&) {
+  auto it = plans_.find(token);
+  if (it == plans_.end()) return default_pace_;
+  const TokenPlan& plan = it->second;
+  if (auto link = plan.per_layer.find(layer); link != plan.per_layer.end()) {
+    return link->second;
+  }
+  if (plan.has_tail && layer >= plan.tail_from) return plan.tail_pace;
+  return plan.pace;
+}
+
+}  // namespace cnet::sim

@@ -1,0 +1,90 @@
+// Link-delay models for the event-level timing simulator.
+//
+// The paper's timing model (§2): balancer transitions are instantaneous;
+// traversing a link between balancers (or from the last balancer to its
+// output counter) takes time in [c1, c2]. A DelayModel decides the delay of
+// each (token, layer) link crossing; by choosing models we realize the
+// paper's regimes:
+//   * FixedDelay        — synchronous executions, c2 == c1.
+//   * UniformDelay      — i.i.d. delays in [c1, c2]; the "normal situations"
+//                         regime of §5's random-wait control run.
+//   * PaceModel         — per-token constant pace with optional per-(token,
+//                         layer) overrides; the adversarial scheduler used
+//                         for the §1 example and the §4 theorems ("token T1
+//                         proceeds at the slowest possible pace...").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace cnet::sim {
+
+using TokenId = std::uint32_t;
+
+/// Strategy for the time a token spends on the link it takes *after*
+/// traversing the node in layer `layer` (1-based; layer == depth means the
+/// link into the output counter).
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual double link_delay(TokenId token, std::uint32_t layer, Rng& rng) = 0;
+};
+
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(double c);
+  double link_delay(TokenId, std::uint32_t, Rng&) override { return c_; }
+
+ private:
+  double c_;
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(double c1, double c2);
+  double link_delay(TokenId, std::uint32_t, Rng& rng) override;
+
+  double c1() const { return c1_; }
+  double c2() const { return c2_; }
+
+ private:
+  double c1_;
+  double c2_;
+};
+
+/// Adversarial scheduling: every token moves at `default_pace` unless given
+/// its own pace (set_pace) or a specific delay for one link (set_link_delay).
+class PaceModel final : public DelayModel {
+ public:
+  explicit PaceModel(double default_pace);
+
+  /// All links of `token` take `pace` (unless overridden per link).
+  void set_pace(TokenId token, double pace);
+
+  /// `token`'s link after layer `layer` takes exactly `delay`.
+  void set_link_delay(TokenId token, std::uint32_t layer, double delay);
+
+  /// `token` moves at `pace` for every link after `from_layer` (inclusive);
+  /// used for "slows down as soon as it enters the merger"-style schedules.
+  void set_pace_from_layer(TokenId token, std::uint32_t from_layer, double pace);
+
+  double link_delay(TokenId token, std::uint32_t layer, Rng&) override;
+
+ private:
+  struct TokenPlan {
+    double pace = 0.0;
+    bool has_tail = false;
+    std::uint32_t tail_from = 0;
+    double tail_pace = 0.0;
+    std::unordered_map<std::uint32_t, double> per_layer;
+  };
+
+  TokenPlan default_plan() const;
+
+  double default_pace_;
+  std::unordered_map<TokenId, TokenPlan> plans_;
+};
+
+}  // namespace cnet::sim

@@ -1,0 +1,220 @@
+#include "sim/knowledge.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cnet::sim {
+namespace {
+
+/// Fixed-capacity bitset over token ids with a cached max-entry-time, so the
+/// Lemma 3.2 check is O(1) per event instead of a set scan.
+class TokenSet {
+ public:
+  void init(std::size_t words) { bits_.assign(words, 0); }
+
+  void add(std::uint32_t token, double entry_time) {
+    bits_[token >> 6] |= (1ull << (token & 63));
+    latest_entry_ = std::max(latest_entry_, entry_time);
+    count_ = kDirty;
+  }
+
+  /// Merge `other` into *this, then copy the result back into `other`
+  /// (the paper's H_T = H_D = H_T ∪ H_D).
+  void merge_with(TokenSet& other) {
+    for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+    other.bits_ = bits_;
+    latest_entry_ = std::max(latest_entry_, other.latest_entry_);
+    other.latest_entry_ = latest_entry_;
+    count_ = kDirty;
+    other.count_ = kDirty;
+  }
+
+  std::uint64_t size() const {
+    if (count_ == kDirty) {
+      std::uint64_t total = 0;
+      for (auto word : bits_) total += static_cast<std::uint64_t>(__builtin_popcountll(word));
+      count_ = total;
+    }
+    return count_;
+  }
+
+  /// Latest network-entry time among the tokens in the set; -inf when empty.
+  double latest_entry() const { return latest_entry_; }
+
+ private:
+  static constexpr std::uint64_t kDirty = ~0ull;
+  std::vector<std::uint64_t> bits_;
+  double latest_entry_ = -std::numeric_limits<double>::infinity();
+  mutable std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+KnowledgeReport analyze_knowledge(const Simulator& simulator, const topo::Network& net,
+                                  double c1) {
+  CNET_CHECK_MSG(!simulator.trace().empty(),
+                 "knowledge analysis needs a traced execution (enable_tracing)");
+  const std::size_t n_tokens = simulator.tokens().size();
+  const std::size_t words = (n_tokens + 63) / 64;
+  const std::uint32_t w = net.output_width();
+
+  // H_T for tokens; H_D for balancer nodes and for output counters (which
+  // the paper also treats as nodes D).
+  std::vector<TokenSet> token_sets(n_tokens);
+  std::vector<TokenSet> node_sets(net.node_count() + w);
+  for (std::size_t t = 0; t < n_tokens; ++t) {
+    token_sets[t].init(words);
+    token_sets[t].add(static_cast<std::uint32_t>(t), simulator.tokens()[t].enter_time);
+  }
+  for (auto& set : node_sets) set.init(words);
+
+  // Sorted entry times for the direct Lemma 3.3 count.
+  std::vector<double> entries;
+  entries.reserve(n_tokens);
+  for (const auto& token : simulator.tokens()) entries.push_back(token.enter_time);
+  std::sort(entries.begin(), entries.end());
+
+  std::vector<std::uint64_t> counter_arrivals(w, 0);
+  // Tolerance for floating-point time accumulation across a deep network.
+  constexpr double kTimeEps = 1e-6;
+
+  KnowledgeReport report;
+  for (const TraceEvent& ev : simulator.trace()) {
+    const bool is_counter = ev.node == topo::kNoNode;
+    const std::size_t node_idx = is_counter ? net.node_count() + ev.port : ev.node;
+    TokenSet& h_t = token_sets[ev.token];
+    TokenSet& h_d = node_sets[node_idx];
+    h_t.merge_with(h_d);
+
+    // Lemma 3.2: the node's layer is g+1 (counters sit one link past layer
+    // h, i.e., g = depth). Knowledge can have travelled at most 1 link per
+    // c1, so every known token entered by ev.time - g*c1.
+    const std::uint32_t g = is_counter ? net.depth() : net.node(ev.node).layer - 1;
+    const double horizon = ev.time - static_cast<double>(g) * c1;
+    const double slack = horizon - h_t.latest_entry();
+    report.min_time_slack = std::min(report.min_time_slack, slack);
+    if (slack < -kTimeEps) report.lemma_3_2_holds = false;
+    ++report.node_events;
+
+    if (is_counter) {
+      // Lemma 3.1: the a-th token out of Y_i knows >= w(a-1) + i + 1 tokens.
+      const std::uint64_t a = ++counter_arrivals[ev.port];
+      const auto required = static_cast<std::int64_t>(w * (a - 1) + ev.port + 1);
+      const auto have = static_cast<std::int64_t>(h_t.size());
+      report.min_knowledge_slack = std::min(report.min_knowledge_slack, have - required);
+      if (have < required) report.lemma_3_1_holds = false;
+      // Lemma 3.3, checked directly from entry times rather than through the
+      // history variables.
+      const double lemma33_horizon =
+          ev.time - static_cast<double>(net.depth()) * c1 + kTimeEps;
+      const auto entered = static_cast<std::int64_t>(
+          std::upper_bound(entries.begin(), entries.end(), lemma33_horizon) -
+          entries.begin());
+      if (entered < required) report.lemma_3_3_holds = false;
+      ++report.counter_events;
+    }
+  }
+  return report;
+}
+
+std::vector<std::size_t> influence_closure(const Simulator& simulator, TokenId token) {
+  CNET_CHECK_MSG(!simulator.trace().empty(),
+                 "influence analysis needs a traced execution (enable_tracing)");
+  const auto& trace = simulator.trace();
+  // Backward reachability: an event is in the closure iff it belongs to the
+  // target token, or a *later* closure event shares its token or its node.
+  std::vector<bool> token_flag(simulator.tokens().size(), false);
+  // Node keys: balancer ids, and one slot per counter past them. Sized
+  // lazily from the largest ids seen in the trace.
+  std::uint32_t max_node = 0;
+  std::uint32_t max_port = 0;
+  for (const TraceEvent& ev : trace) {
+    if (ev.node == topo::kNoNode) {
+      max_port = std::max(max_port, ev.port);
+    } else {
+      max_node = std::max(max_node, ev.node);
+    }
+  }
+  const std::size_t counter_base = static_cast<std::size_t>(max_node) + 1;
+  std::vector<bool> node_flag(counter_base + max_port + 1, false);
+
+  std::vector<std::size_t> closure_reversed;
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    const TraceEvent& ev = trace[i];
+    const std::size_t node_key =
+        ev.node == topo::kNoNode ? counter_base + ev.port : ev.node;
+    if (ev.token == token || token_flag[ev.token] || node_flag[node_key]) {
+      token_flag[ev.token] = true;
+      node_flag[node_key] = true;
+      closure_reversed.push_back(i);
+    }
+  }
+  return {closure_reversed.rbegin(), closure_reversed.rend()};
+}
+
+ClosureCheck check_influence_closure(const Simulator& simulator, TokenId token) {
+  const auto& trace = simulator.trace();
+  const std::vector<std::size_t> closure = influence_closure(simulator, token);
+
+  ClosureCheck result;
+  result.closure_events = closure.size();
+
+  // Tokens appearing in E'.
+  std::set<TokenId> closure_tokens;
+  std::vector<bool> in_closure(trace.size(), false);
+  for (std::size_t i : closure) {
+    in_closure[i] = true;
+    closure_tokens.insert(trace[i].token);
+  }
+  result.closure_tokens = closure_tokens.size();
+
+  // Independent forward computation of H_token (the Lemma 3.1 claim is that
+  // E' involves exactly the tokens of H_T).
+  const std::size_t n_tokens = simulator.tokens().size();
+  const std::size_t words = (n_tokens + 63) / 64;
+  std::vector<TokenSet> token_sets(n_tokens);
+  std::map<std::pair<bool, std::uint32_t>, TokenSet> node_sets;
+  for (std::size_t t = 0; t < n_tokens; ++t) {
+    token_sets[t].init(words);
+    token_sets[t].add(static_cast<std::uint32_t>(t), simulator.tokens()[t].enter_time);
+  }
+  for (const TraceEvent& ev : trace) {
+    const auto key = std::make_pair(ev.node == topo::kNoNode,
+                                    ev.node == topo::kNoNode ? ev.port : ev.node);
+    auto [it, inserted] = node_sets.try_emplace(key);
+    if (inserted) it->second.init(words);
+    token_sets[ev.token].merge_with(it->second);
+  }
+  // A token is in H_T iff one of its events influences an event of T —
+  // i.e., iff it appears in the closure. Chains and merges are the same
+  // relation read in opposite directions, so the two token sets must agree;
+  // compare sizes (both sets are derived from the same chain structure) and
+  // require the target itself to be present.
+  const std::uint64_t knowledge_size = token_sets[token].size();
+  result.events_match_knowledge =
+      knowledge_size == closure_tokens.size() && closure_tokens.count(token) == 1;
+
+  // Prefix-closure per token and per node.
+  result.is_prefix_execution = true;
+  std::map<std::uint64_t, bool> stream_left;  // stream key -> left closure already
+  auto stream_check = [&](std::uint64_t key, bool included) {
+    auto [it, inserted] = stream_left.try_emplace(key, false);
+    if (included && it->second) result.is_prefix_execution = false;
+    if (!included) it->second = true;
+  };
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& ev = trace[i];
+    stream_check(0x100000000ull + ev.token, in_closure[i]);
+    const std::uint64_t node_key = ev.node == topo::kNoNode
+                                       ? 0x300000000ull + ev.port
+                                       : 0x200000000ull + ev.node;
+    stream_check(node_key, in_closure[i]);
+  }
+  return result;
+}
+
+}  // namespace cnet::sim

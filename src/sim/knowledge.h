@@ -1,0 +1,74 @@
+// The implicit-knowledge machinery of §2/§3, made executable.
+//
+// The paper associates a history variable H_T with every token and H_D with
+// every node (balancers and counters): initially H_T = {T} and H_D = {};
+// each transition event <T, D> merges them (H_T = H_D = H_T ∪ H_D).
+// Two lemmas about these variables carry the whole positive result:
+//
+//   Lemma 3.1  if T is the a-th token to exit output Y_i of a counting
+//              network of width w, then |H_T| >= w(a-1) + i + 1;
+//   Lemma 3.2  after an event at a node in layer g+1 at time t, H_D contains
+//              only tokens that entered the network by time t - g*c1;
+//   Lemma 3.3  (their combination) when the a-th token exits output Y_i at
+//              time t, at least w(a-1)+i+1 tokens entered by t - h*c1.
+//
+// analyze_knowledge replays a traced execution, computes the history
+// variables exactly (as bitsets over token ids), and checks both lemmas on
+// every event, reporting the minimum slack (how close the execution came to
+// the bound) so tests can also show tightness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/simulator.h"
+
+namespace cnet::sim {
+
+struct KnowledgeReport {
+  bool lemma_3_1_holds = true;
+  bool lemma_3_2_holds = true;
+  /// Lemma 3.3 (the combination): when the a-th token exits Y_i at time t,
+  /// at least w(a-1)+i+1 tokens had entered the network by t - h*c1.
+  bool lemma_3_3_holds = true;
+
+  std::uint64_t counter_events = 0;  ///< events checked against Lemma 3.1
+  std::uint64_t node_events = 0;     ///< events checked against Lemma 3.2
+
+  /// min over counter events of |H_T| - (w(a-1) + i + 1); 0 means some
+  /// token knew exactly the minimum the lemma requires.
+  std::int64_t min_knowledge_slack = std::numeric_limits<std::int64_t>::max();
+
+  /// min over events and tokens in H_D of (t - g*c1) - entry_time; >= 0 iff
+  /// Lemma 3.2 holds, and ~0 when information travelled at full speed.
+  double min_time_slack = std::numeric_limits<double>::infinity();
+};
+
+/// Requires simulator.enable_tracing() to have been set before the run and
+/// the run to be complete. `c1` must be the true lower bound on the link
+/// delays the run used.
+KnowledgeReport analyze_knowledge(const Simulator& simulator, const topo::Network& net,
+                                  double c1);
+
+/// The influence construction from Lemma 3.1's proof: E' = the subsequence
+/// of the execution consisting of all events that influence `token`'s events
+/// (two adjacent events are linked when they share the token or the node).
+/// Returns the indices into simulator.trace() forming E', in order.
+///
+/// The proof rests on two facts which influence_closure_is_execution checks:
+/// E' contains exactly the events of the tokens in H_T, and E' is itself a
+/// legal execution of the network (per-token and per-node subsequences are
+/// prefixes of the original ones).
+std::vector<std::size_t> influence_closure(const Simulator& simulator, TokenId token);
+
+/// Validates the two structural facts above for E' = influence_closure(...).
+/// Returns true (and fills the optional counters) iff both hold.
+struct ClosureCheck {
+  bool events_match_knowledge = false;  ///< tokens appearing in E' == H_T
+  bool is_prefix_execution = false;     ///< E' is per-token and per-node prefix-closed
+  std::size_t closure_events = 0;
+  std::size_t closure_tokens = 0;
+};
+ClosureCheck check_influence_closure(const Simulator& simulator, TokenId token);
+
+}  // namespace cnet::sim

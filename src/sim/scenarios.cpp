@@ -1,0 +1,205 @@
+#include "sim/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "util/assert.h"
+
+namespace cnet::sim {
+namespace {
+
+ScenarioResult finish(Simulator& simulator, double c1, double c2, std::uint32_t depth) {
+  ScenarioResult result;
+  result.history = simulator.history();
+  result.analysis = lin::check(result.history);
+  result.c1 = c1;
+  result.c2 = c2;
+  result.depth = depth;
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult section1_example(double c1, double epsilon) {
+  CNET_CHECK(c1 > 0.0 && epsilon > 0.0);
+  const double c2 = (2.0 + epsilon) * c1;
+  const double delta = epsilon * c1 / 4.0;
+
+  const topo::Network net = topo::make_balancer(2);
+  PaceModel paces(c1);
+  Simulator simulator(net, paces);
+
+  // T0 enters x0 and is delayed on its way to the counter A0.
+  const TokenId t0 = simulator.inject(0, 0.0);
+  paces.set_pace(t0, c2);
+  // T1 enters x0 right behind, proceeds fast, exits via y1 with value 1 at
+  // time delta + c1 while T0 is still on its wire.
+  simulator.inject(0, delta);
+  simulator.run_until(delta + c1);
+  CNET_CHECK_MSG(simulator.token(1).done && simulator.token(1).value == 1,
+                 "T1 must return value 1");
+  // T2 enters after T1's exit, proceeds fast, exits via y0 with value 0
+  // because T0 is still on the wire. Finally T0 obtains 2 from A0.
+  simulator.inject(0, simulator.now() + delta);
+  simulator.run();
+
+  return finish(simulator, c1, c2, net.depth());
+}
+
+ScenarioResult theorem_4_1_tree(std::uint32_t width, double c1, double epsilon) {
+  return tree_separation_probe(width, c1, (2.0 + epsilon) * c1,
+                               /*finish_start_gap=*/epsilon * c1 / 2.0);
+}
+
+ScenarioResult tree_separation_probe(std::uint32_t width, double c1, double c2,
+                                     double finish_start_gap) {
+  CNET_CHECK(c1 > 0.0 && c2 >= c1 && finish_start_gap > 0.0);
+  const topo::Network net = topo::make_counting_tree(width);
+  const std::uint32_t h = net.depth();
+
+  PaceModel paces(c1);
+  Simulator simulator(net, paces);
+
+  // T0 and T1 enter together at t0 = 0; T0 toggles the root first and goes
+  // to the port-0 subtree, then crawls at c2 per link. T1 sprints at c1 and
+  // returns value 1 at time h*c1.
+  const TokenId t0 = simulator.inject(0, 0.0);
+  paces.set_pace(t0, c2);
+  simulator.inject(0, 0.0);
+  simulator.run_until(static_cast<double>(h) * c1);
+  CNET_CHECK_MSG(simulator.token(1).done && simulator.token(1).value == 1,
+                 "fast token T1 must return value 1");
+  const double t1_exit = simulator.token(1).exit_time;
+
+  // Wave of 2^h - 1 fast tokens, entering `finish_start_gap` after T1's
+  // exit. When the gap is below h*(c2 - 2*c1) the wave reaches the leaves
+  // ahead of T0 and one wave token returns 0 — a Def 2.4 violation against
+  // T1 (T0 will return value `width` instead).
+  simulator.inject_wave(0, width - 1, t1_exit + finish_start_gap);
+  simulator.run();
+  return finish(simulator, c1, c2, h);
+}
+
+ScenarioResult padded_tree_probe(std::uint32_t width, std::uint32_t prefix, double c1,
+                                 double c2, double finish_start_gap) {
+  CNET_CHECK(c1 > 0.0 && c2 >= c1 && finish_start_gap > 0.0);
+  const topo::Network net = topo::make_padded(topo::make_counting_tree(width), prefix);
+  const std::uint32_t total_depth = net.depth();
+  const double epsilon = c1 / 1024.0;
+
+  PaceModel paces(c1);
+  Simulator simulator(net, paces);
+
+  // T0 (slow everywhere) enters first; T1 enters just late enough that T0
+  // still commits the root toggle first, as in Thm 4.1. T1 exits with value
+  // 1 while T0 crawls.
+  const TokenId t0 = simulator.inject(0, 0.0);
+  paces.set_pace(t0, c2);
+  const double t1_entry = static_cast<double>(prefix) * (c2 - c1) + epsilon;
+  simulator.inject(0, t1_entry);
+  const double t1_exit_expected = t1_entry + static_cast<double>(total_depth) * c1;
+  simulator.run_until(t1_exit_expected);
+  CNET_CHECK_MSG(simulator.token(1).done && simulator.token(1).value == 1,
+                 "fast token T1 must return value 1");
+
+  // Wave of width-1 fast tokens after the configured finish-start gap; a
+  // violation requires one of them to beat T0 to the leaf-0 counter.
+  simulator.inject_wave(0, width - 1, simulator.token(1).exit_time + finish_start_gap);
+  simulator.run();
+  return finish(simulator, c1, c2, total_depth);
+}
+
+ScenarioResult theorem_4_3_bitonic(std::uint32_t width, double c1, double epsilon) {
+  CNET_CHECK(c1 > 0.0 && epsilon > 0.0);
+  CNET_CHECK_MSG(width > 2, "Thm 4.3 as stated needs w > 2 (use section1_example for w = 2)");
+  const double c2 = (2.0 + epsilon) * c1;
+
+  const topo::Network net = topo::make_bitonic(width);
+  const std::uint32_t h = net.depth();
+  const double delta = epsilon * c1 * static_cast<double>(h) / 4.0;
+
+  PaceModel paces(c1);
+  Simulator simulator(net, paces);
+
+  // T0 traverses the network alone through x0, exits via y0 with value 0.
+  simulator.inject(0, 0.0);
+  simulator.run_until(static_cast<double>(h) * c1);
+  CNET_CHECK(simulator.token(0).done && simulator.token(0).value == 0);
+
+  // T1 (slowest pace) then T2 (fastest pace) enter through x0. By Lemma 4.2
+  // they share no balancer after the entrance, so T2 is not delayed by T1;
+  // T2 exits via y2 with value 2 while T1 is still crawling toward y1.
+  const double t1 = simulator.now() + delta;
+  const TokenId tok1 = simulator.inject(0, t1);
+  paces.set_pace(tok1, c2);
+  const TokenId tok2 = simulator.inject(0, t1 + delta);
+  simulator.run_until(t1 + delta + static_cast<double>(h) * c1);
+  CNET_CHECK_MSG(simulator.token(tok2).done && simulator.token(tok2).value == 2,
+                 "fast token T2 must return value 2");
+
+  // As soon as T2 exits, w fast tokens enter (one per input). By quiescence
+  // outputs y0..y2 serve two tokens each, so one fast token exits via y1
+  // with value 1 — after T2 completed with value 2.
+  simulator.inject_wave(0, width, simulator.token(tok2).exit_time + delta);
+  simulator.run();
+  return finish(simulator, c1, c2, h);
+}
+
+ScenarioResult theorem_4_4_waves(std::uint32_t width, double c1, double ratio) {
+  CNET_CHECK(c1 > 0.0 && ratio > 1.0);
+  CNET_CHECK(width >= 4);
+  const double c2 = ratio * c1;
+
+  const topo::Network net = topo::make_bitonic(width);
+  const std::uint32_t h = net.depth();
+  const std::uint32_t h2 = topo::log2_exact(width);  // merger stage depth
+  const std::uint32_t merger_first_layer = h - h2 + 1;
+  const double delta = c1 / 1024.0;
+
+  PaceModel paces(c1);
+  Simulator simulator(net, paces);
+
+  // First wave: w/2 tokens into Bitonic_1[w/2] (inputs x0..x_{w/2-1}), fast
+  // through the first stage, slowest pace once inside Merger[w].
+  for (std::uint32_t i = 0; i < width / 2; ++i) {
+    const TokenId id = simulator.inject(i, 0.0);
+    paces.set_pace_from_layer(id, merger_first_layer, c2);
+  }
+  // Second wave: same inputs, immediately behind, fast everywhere.
+  const TokenId wave2_first = simulator.inject_wave(0, width / 2, delta);
+  simulator.run_until(delta + static_cast<double>(h) * c1);
+
+  // Third wave: enters as soon as the second wave has exited; fast. It
+  // passes the first wave inside the merger and returns values lower than
+  // those the second wave already returned.
+  double wave2_exit = 0.0;
+  for (std::uint32_t i = 0; i < width / 2; ++i) {
+    CNET_CHECK_MSG(simulator.token(wave2_first + i).done, "second wave must have exited");
+    wave2_exit = std::max(wave2_exit, simulator.token(wave2_first + i).exit_time);
+  }
+  simulator.inject_wave(0, width / 2, wave2_exit + delta);
+  simulator.run();
+  return finish(simulator, c1, c2, h);
+}
+
+ScenarioResult random_execution(const topo::Network& net, const RandomExecutionParams& params) {
+  CNET_CHECK(params.c1 > 0.0 && params.c2 >= params.c1);
+  UniformDelay delays(params.c1, params.c2);
+  Simulator simulator(net, delays, params.seed);
+  Rng arrivals(params.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  double t = 0.0;
+  for (std::uint32_t i = 0; i < params.tokens; ++i) {
+    simulator.inject(i % net.input_width(), t);
+    if (params.mean_interarrival > 0.0) {
+      // Exponential interarrival times (Poisson arrivals).
+      t += -params.mean_interarrival * std::log(1.0 - arrivals.unit());
+    }
+  }
+  simulator.run();
+  return finish(simulator, params.c1, params.c2, net.depth());
+}
+
+}  // namespace cnet::sim

@@ -1,0 +1,89 @@
+// The paper's executions, scripted against the event simulator.
+//
+//  * section1_example   — the depth-1 non-linearizable schedule of §1.
+//  * theorem_4_1_tree   — slow token + fast wave through a counting tree;
+//                         exhibits a violation whenever c2 > 2*c1.
+//  * theorem_4_3_bitonic— the 3-token + w-token-wave schedule of Thm 4.3.
+//  * theorem_4_4_waves  — the three-wave schedule of Thm 4.4 producing a
+//                         constant fraction of non-linearizable operations.
+//  * tree_separation_probe — the Thm 4.1 schedule with the wave delayed by a
+//                         configurable finish-start gap; used to show the
+//                         Thm 3.6 separation bound h*(c2 - 2*c1) is tight.
+//  * random_execution   — tokens with random arrivals and i.i.d. uniform
+//                         link delays in [c1, c2]; the "normal situation"
+//                         regime used to validate Cor 3.9 and for the
+//                         c2/c1 sweep ablation.
+//
+// Every scenario returns the full operation history plus the Def 2.4
+// analysis, so tests can assert both the existence/absence of violations and
+// the specific values the paper's proofs predict.
+#pragma once
+
+#include <cstdint>
+
+#include "lin/checker.h"
+#include "lin/history.h"
+#include "topo/network.h"
+
+namespace cnet::sim {
+
+struct ScenarioResult {
+  lin::History history;
+  lin::CheckResult analysis;
+  double c1 = 0.0;
+  double c2 = 0.0;
+  std::uint32_t depth = 0;
+};
+
+/// §1 example on Balancer[2]. `epsilon` > 0 scales how far c2 exceeds 2*c1:
+/// c2 = (2 + epsilon) * c1. The returned history contains T0, T1, T2 with
+/// values 2, 1, 0 in that token order, T1 completely preceding T2.
+ScenarioResult section1_example(double c1, double epsilon);
+
+/// Thm 4.1 on Tree[width]: c2 = (2 + epsilon) * c1. T0 (slow) and T1 (fast)
+/// enter together; after T1 exits with value 1, a wave of width-1 fast
+/// tokens enters and one of them returns value 0.
+ScenarioResult theorem_4_1_tree(std::uint32_t width, double c1, double epsilon);
+
+/// Thm 4.3 on Bitonic[width]: c2 = 2*c1 + epsilon*c1. T0 traverses alone;
+/// T1 (slow) and T2 (fast) follow through input x0; after T2 exits with
+/// value 2, w fast tokens enter and one returns 1 while T1 is still inside.
+ScenarioResult theorem_4_3_bitonic(std::uint32_t width, double c1, double epsilon);
+
+/// Thm 4.4 on Bitonic[width] with c2 = ratio * c1 (the paper requires
+/// ratio > (3 + log w) / 2): three w/2-token waves; the third wave passes
+/// the first inside the merger and every third-wave operation is
+/// non-linearizable with respect to the second wave.
+ScenarioResult theorem_4_4_waves(std::uint32_t width, double c1, double ratio);
+
+/// Thm 4.1 schedule with the wave entering `finish_start_gap` after the fast
+/// token T1 exits. Thm 3.6 predicts no violation is possible once
+/// finish_start_gap > depth * (c2 - 2*c1); this probe shows the bound tight:
+/// violations occur right up to it.
+ScenarioResult tree_separation_probe(std::uint32_t width, double c1, double c2,
+                                     double finish_start_gap);
+
+/// Cor 3.12 demonstration: the Thm 4.1 schedule run against a counting tree
+/// whose single input is prefixed with `prefix` pass-through nodes
+/// (make_padded). The slow token now spends prefix*c2 before committing its
+/// first toggle, so the adversary must enter the fast token late
+/// (prefix*(c2-c1) after the slow one) to keep the schedule shape; the
+/// violation window shrinks to h*(c2 - 2*c1) - prefix*c1 and closes exactly
+/// at the prescription prefix = h*(k-2) with k = c2/c1.
+ScenarioResult padded_tree_probe(std::uint32_t width, std::uint32_t prefix, double c1,
+                                 double c2, double finish_start_gap);
+
+struct RandomExecutionParams {
+  std::uint32_t tokens = 1000;
+  double c1 = 1.0;
+  double c2 = 2.0;
+  /// Mean gap between consecutive arrivals (exponential); 0 => all at once.
+  double mean_interarrival = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Tokens arrive on round-robin inputs with exponential interarrival times
+/// and i.i.d. Uniform[c1, c2] link delays.
+ScenarioResult random_execution(const topo::Network& net, const RandomExecutionParams& params);
+
+}  // namespace cnet::sim

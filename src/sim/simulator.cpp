@@ -1,0 +1,90 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+
+namespace cnet::sim {
+
+Simulator::Simulator(const topo::Network& net, DelayModel& delays, std::uint64_t seed)
+    : net_(&net),
+      delays_(&delays),
+      rng_(seed),
+      node_tokens_(net.node_count(), 0),
+      exit_counts_(net.output_width(), 0) {}
+
+TokenId Simulator::inject(std::uint32_t input, double time) {
+  CNET_CHECK(input < net_->input_width());
+  CNET_CHECK_MSG(time >= now_, "cannot inject a token in the simulated past");
+  const auto id = static_cast<TokenId>(tokens_.size());
+  tokens_.push_back(TokenRecord{input, time, 0.0, 0, 0, false});
+  const topo::OutLink entry = net_->inputs()[input];
+  queue_.push(Event{time, next_seq_++, id, entry.node, entry.port});
+  return id;
+}
+
+TokenId Simulator::inject_wave(std::uint32_t first_input, std::uint32_t count, double time) {
+  CNET_CHECK(count > 0);
+  TokenId first = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const TokenId id = inject((first_input + i) % net_->input_width(), time);
+    if (i == 0) first = id;
+  }
+  return first;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    CNET_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    process(ev);
+  }
+}
+
+void Simulator::run_until(double t) {
+  CNET_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    process(ev);
+  }
+  now_ = t;
+}
+
+void Simulator::process(const Event& ev) {
+  if (tracing_) trace_.push_back(TraceEvent{ev.time, ev.token, ev.node, ev.port});
+  if (ev.node == topo::kNoNode) {
+    // Arrival at output counter `ev.port`: the a-th arrival (a >= 1) gets
+    // value port + (a-1) * w.
+    const std::uint64_t a = ++exit_counts_[ev.port];
+    TokenRecord& tok = tokens_[ev.token];
+    tok.exit_time = ev.time;
+    tok.output = ev.port;
+    tok.value = ev.port + (a - 1) * net_->output_width();
+    tok.done = true;
+    return;
+  }
+  // Instantaneous atomic balancer transition: route by traversal count, then
+  // schedule arrival at the next hop after the link delay.
+  const topo::Node& node = net_->node(ev.node);
+  const std::uint64_t t = node_tokens_[ev.node]++;
+  const topo::OutLink next = node.out[t % node.fan_out];
+  const double delay = delays_->link_delay(ev.token, node.layer, rng_);
+  CNET_CHECK_MSG(delay > 0.0, "link delays must be positive");
+  queue_.push(Event{ev.time + delay, next_seq_++, ev.token, next.node, next.port});
+}
+
+lin::History Simulator::history() const {
+  lin::History hist;
+  hist.reserve(tokens_.size());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    const TokenRecord& tok = tokens_[i];
+    CNET_CHECK_MSG(tok.done, "history() requires run() to have drained all tokens");
+    hist.push_back(lin::Operation{tok.enter_time, tok.exit_time, tok.value,
+                                  static_cast<std::uint32_t>(i)});
+  }
+  return hist;
+}
+
+}  // namespace cnet::sim

@@ -1,0 +1,119 @@
+// Discrete-event simulator of the paper's §2 timing model.
+//
+// Tokens are injected at (input port, time); a token traverses its layer-1
+// node instantaneously on entry (the network's input ports are identified
+// with the input nodes' ports), then spends a DelayModel-chosen time on each
+// link, transitioning through each node instantaneously and atomically in
+// arrival order. The t-th token to traverse a node leaves on output port
+// t mod fan_out, and the a-th token to reach output counter Y_i receives
+// value i + (a-1)*w.
+//
+// Determinism: events are ordered by (time, sequence); simultaneous arrivals
+// are processed in schedule order (injection order for simultaneous
+// injections), so every execution — including the adversarial schedules of
+// §4 with their lock-step "waves" — is reproducible exactly.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "lin/history.h"
+#include "sim/delay_model.h"
+#include "topo/network.h"
+#include "util/rng.h"
+
+namespace cnet::sim {
+
+/// One instantaneous transition event <T, D> of an execution (paper §2):
+/// token `token` traverses balancer `node`, or — when node == topo::kNoNode —
+/// arrives at output counter `port`. Recorded only when tracing is enabled.
+struct TraceEvent {
+  double time = 0.0;
+  TokenId token = 0;
+  topo::NodeId node = topo::kNoNode;
+  std::uint32_t port = 0;  ///< counter index when node == kNoNode
+};
+
+/// Everything known about one token's traversal after run().
+struct TokenRecord {
+  std::uint32_t input = 0;
+  double enter_time = 0.0;
+  double exit_time = 0.0;
+  std::uint32_t output = 0;
+  std::uint64_t value = 0;
+  bool done = false;
+};
+
+class Simulator {
+ public:
+  /// The network must be uniform for the paper's layer-indexed delay models
+  /// to make sense; non-uniform networks are still simulated correctly (the
+  /// node's layer is passed to the delay model).
+  Simulator(const topo::Network& net, DelayModel& delays, std::uint64_t seed = 1);
+
+  /// Injects a token at `input` at absolute `time`; returns its TokenId
+  /// (consecutive from 0 in injection-call order). Must not be in the past
+  /// of already-processed events.
+  TokenId inject(std::uint32_t input, double time);
+
+  /// Injects `count` tokens at the same instant, one per input port starting
+  /// at `first_input` (wrapping); returns the first TokenId.
+  TokenId inject_wave(std::uint32_t first_input, std::uint32_t count, double time);
+
+  /// Processes events until the queue is empty (all injected tokens exit).
+  /// Can be called repeatedly, interleaved with inject().
+  void run();
+
+  /// Processes events up to and including time `t`, then advances the clock
+  /// to `t`. This is how reactive adversaries ("as soon as T2 exits, w
+  /// tokens enter") are built without racing past the slow tokens still in
+  /// flight.
+  void run_until(double t);
+
+  double now() const { return now_; }
+  const std::vector<TokenRecord>& tokens() const { return tokens_; }
+  const TokenRecord& token(TokenId id) const { return tokens_[id]; }
+
+  /// Tokens that exited on each output so far.
+  const std::vector<std::uint64_t>& output_counts() const { return exit_counts_; }
+
+  /// The completed operations as a linearizability history.
+  lin::History history() const;
+
+  /// Record every transition event <T, D> for knowledge analysis (§2's
+  /// history variables). Call before injecting tokens.
+  void enable_tracing() { tracing_ = true; }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    TokenId token;
+    topo::NodeId node;        ///< kNoNode => arrival at output counter
+    std::uint32_t port;       ///< counter index when node == kNoNode
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void process(const Event& ev);
+
+  const topo::Network* net_;
+  DelayModel* delays_;
+  Rng rng_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<TokenRecord> tokens_;
+  std::vector<std::uint64_t> node_tokens_;  ///< per-node traversal counts
+  std::vector<std::uint64_t> exit_counts_;  ///< per-output exit counts
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace cnet::sim

@@ -1,0 +1,48 @@
+#include "topo/dot.h"
+
+#include <sstream>
+
+namespace cnet::topo {
+
+std::string to_dot(const Network& net) {
+  std::ostringstream out;
+  out << "digraph \"" << net.name() << "\" {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=circle, fontsize=10];\n";
+
+  for (std::uint32_t i = 0; i < net.input_width(); ++i)
+    out << "  in" << i << " [shape=point, xlabel=\"x" << i << "\"];\n";
+  for (std::uint32_t i = 0; i < net.output_width(); ++i)
+    out << "  out" << i << " [shape=box, label=\"Y" << i << "\"];\n";
+
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    const Node& node = net.node(id);
+    out << "  b" << id << " [label=\"" << (node.is_pass_through() ? "·" : "B") << id
+        << "\"];\n";
+  }
+
+  // Rank nodes by layer so the drawing reflects the uniform structure.
+  for (std::size_t layer = 0; layer < net.layers().size(); ++layer) {
+    out << "  { rank=same;";
+    for (NodeId id : net.layers()[layer]) out << " b" << id << ";";
+    out << " }\n";
+  }
+
+  for (std::uint32_t i = 0; i < net.input_width(); ++i)
+    out << "  in" << i << " -> b" << net.inputs()[i].node << ";\n";
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    const Node& node = net.node(id);
+    for (std::uint32_t p = 0; p < node.fan_out; ++p) {
+      const OutLink& link = node.out[p];
+      if (link.node == kNoNode) {
+        out << "  b" << id << " -> out" << link.port << ";\n";
+      } else {
+        out << "  b" << id << " -> b" << link.node << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cnet::topo

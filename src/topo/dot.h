@@ -1,0 +1,15 @@
+// Graphviz export of a balancing network, layered left-to-right. Used by the
+// examples and handy when debugging builders.
+#pragma once
+
+#include <string>
+
+#include "topo/network.h"
+
+namespace cnet::topo {
+
+/// Renders `net` as a Graphviz digraph (rankdir=LR, nodes ranked by layer,
+/// network inputs/outputs as labelled points, counters as boxes).
+std::string to_dot(const Network& net);
+
+}  // namespace cnet::topo

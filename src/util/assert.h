@@ -1,0 +1,30 @@
+// Lightweight always-on invariant checking.
+//
+// CNET_CHECK is used for internal invariants of the simulators and network
+// builders; violations indicate a library bug, so we fail fast with context
+// rather than continuing with a corrupted simulation.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cnet {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "cnet: CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace cnet
+
+#define CNET_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) ::cnet::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CNET_CHECK_MSG(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr)) ::cnet::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

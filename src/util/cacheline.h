@@ -1,0 +1,26 @@
+// Cache-line geometry for the real-thread runtime: contended atomics (toggle
+// bits, prism slots, MCS tails, per-output counters) are padded to avoid
+// false sharing, which would otherwise dominate the throughput benchmarks.
+#pragma once
+
+#include <cstddef>
+
+namespace cnet {
+
+// std::hardware_destructive_interference_size is still flaky across
+// toolchains (ABI warnings on GCC); 64 bytes is correct for x86-64 and most
+// AArch64 parts, and harmless elsewhere.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A value of T alone on its own cache line(s).
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace cnet

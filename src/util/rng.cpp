@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include "util/assert.h"
+
+namespace cnet {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  CNET_CHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  CNET_CHECK(lo <= hi);
+  if (lo == 0 && hi == max()) return (*this)();
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::unit() {
+  // 53 significant bits, as for std::generate_canonical.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split() {
+  std::uint64_t seed = (*this)();
+  return Rng{seed};
+}
+
+}  // namespace cnet

@@ -1,0 +1,42 @@
+// Spin-wait helpers for the real-thread runtime.
+//
+// Busy loops must stay cheap on the happy path (pause instruction) yet make
+// progress when threads outnumber cores: after a bounded number of spins we
+// yield to the scheduler so that the thread we are waiting on (an MCS lock
+// holder, a prism partner) can actually run. Without the yield, FIFO
+// handoffs on an oversubscribed machine cost a full scheduler quantum each.
+#pragma once
+
+#include <thread>
+
+namespace cnet {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No pause primitive: the SpinWaiter's yield fallback does the real work.
+#endif
+}
+
+/// Call wait() each time a spin-loop condition check fails.
+class SpinWaiter {
+ public:
+  void wait() noexcept {
+    if (++spins_ > kSpinLimit) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 128;
+  int spins_ = 0;
+};
+
+}  // namespace cnet

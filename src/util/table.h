@@ -1,0 +1,38 @@
+// Plain-text table and CSV rendering for the benchmark harnesses.
+//
+// Each figure/table bench prints the paper's rows through this formatter so
+// that output is uniform and machine-readable (CSV alongside the aligned
+// human view).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cnet {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, integers plainly.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  /// Column-aligned human-readable rendering.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cnet

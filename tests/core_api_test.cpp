@@ -1,0 +1,91 @@
+#include "core/counting_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "theory/bounds.h"
+
+namespace cnet {
+namespace {
+
+TEST(Core, VersionString) {
+  EXPECT_EQ(version_string(), "1.0.0");
+  EXPECT_EQ(version().major, 1);
+}
+
+TEST(Core, MakeNetworkDispatches) {
+  EXPECT_EQ(make_network(Topology::kBitonic, 32).depth(), 15u);
+  EXPECT_EQ(make_network(Topology::kPeriodic, 8).depth(), 9u);
+  EXPECT_EQ(make_network(Topology::kTree, 32).depth(), 5u);
+  EXPECT_EQ(make_network(Topology::kTree, 32).input_width(), 1u);
+}
+
+class SharedCounterTopologies : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(SharedCounterTopologies, SequentialValues) {
+  SharedCounter::Config config;
+  config.topology = GetParam();
+  config.width = 8;
+  SharedCounter counter(config);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(counter.next(0), i);
+}
+
+TEST_P(SharedCounterTopologies, ConcurrentUniqueness) {
+  SharedCounter::Config config;
+  config.topology = GetParam();
+  config.width = 16;
+  SharedCounter counter(config);
+  const unsigned n_threads = std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  std::vector<std::vector<std::uint64_t>> values(n_threads);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 10000; ++i) values[t].push_back(counter.next(t));
+      });
+    }
+  }
+  std::vector<std::uint64_t> all;
+  for (auto& v : values) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SharedCounterTopologies,
+                         ::testing::Values(Topology::kBitonic, Topology::kPeriodic,
+                                           Topology::kTree));
+
+TEST(SharedCounter, PaddingConfigDeepensNetwork) {
+  SharedCounter::Config config;
+  config.topology = Topology::kBitonic;
+  config.width = 8;
+  SharedCounter plain(config);
+  config.linearizable_for_ratio = 4;
+  SharedCounter padded(config);
+  const std::uint32_t h = plain.network().depth();
+  EXPECT_EQ(padded.network().depth(), theory::padded_depth(h, 4));
+  // Padded counter still counts.
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(padded.next(0), i);
+}
+
+TEST(SharedCounter, RatioTwoMeansNoPadding) {
+  SharedCounter::Config config;
+  config.width = 8;
+  config.linearizable_for_ratio = 2;
+  SharedCounter counter(config);
+  EXPECT_EQ(counter.network().depth(), make_network(Topology::kBitonic, 8).depth());
+}
+
+TEST(SharedCounter, McsConfiguration) {
+  SharedCounter::Config config;
+  config.width = 8;
+  config.mcs_balancers = true;
+  SharedCounter counter(config);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(counter.next(0), i);
+}
+
+}  // namespace
+}  // namespace cnet

@@ -1,0 +1,120 @@
+#include "lin/checker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cnet::lin {
+namespace {
+
+Operation op(double start, double end, std::uint64_t value) {
+  return Operation{start, end, value, 0};
+}
+
+/// O(n^2) reference implementation of Def 2.4.
+std::uint64_t brute_force_violations(const History& h) {
+  std::uint64_t violations = 0;
+  for (const Operation& o : h) {
+    for (const Operation& other : h) {
+      if (other.end < o.start && other.value > o.value) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+TEST(Checker, EmptyHistory) {
+  const CheckResult result = check({});
+  EXPECT_EQ(result.total_ops, 0u);
+  EXPECT_TRUE(result.linearizable());
+  EXPECT_EQ(result.fraction(), 0.0);
+}
+
+TEST(Checker, SingleOp) {
+  const CheckResult result = check({op(0, 1, 0)});
+  EXPECT_TRUE(result.linearizable());
+  EXPECT_EQ(result.total_ops, 1u);
+}
+
+TEST(Checker, SequentialInOrderIsLinearizable) {
+  History h;
+  for (int i = 0; i < 100; ++i) h.push_back(op(2.0 * i, 2.0 * i + 1, i));
+  EXPECT_TRUE(check(h).linearizable());
+}
+
+TEST(Checker, Section1ExampleValues) {
+  // T0: [0, 10] -> 2 ; T1: [1, 3] -> 1 ; T2: [4, 6] -> 0.
+  // T1 completely precedes T2 and returned a larger value: one violation.
+  const History h = {op(0, 10, 2), op(1, 3, 1), op(4, 6, 0)};
+  const CheckResult result = check(h);
+  EXPECT_EQ(result.nonlinearizable_ops, 1u);
+  ASSERT_EQ(result.violating_ops.size(), 1u);
+  EXPECT_EQ(result.violating_ops[0], 2u);  // T2
+  EXPECT_EQ(result.worst_inversion, 1u);
+  EXPECT_NEAR(result.fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Checker, OverlapIsNotPrecedence) {
+  // Two overlapping ops may return values in either order.
+  EXPECT_TRUE(check({op(0, 5, 1), op(3, 8, 0)}).linearizable());
+}
+
+TEST(Checker, TouchingEndpointsCountAsOverlap) {
+  // end == start: not *completely* preceding, per the strict Def 2.3.
+  EXPECT_TRUE(check({op(0, 5, 1), op(5, 8, 0)}).linearizable());
+  // strictly before by any margin -> violation
+  EXPECT_FALSE(check({op(0, 5, 1), op(5.0001, 8, 0)}).linearizable());
+}
+
+TEST(Checker, WorstInversionTracksLargestGap) {
+  const History h = {op(0, 1, 100), op(2, 3, 5), op(4, 5, 90)};
+  const CheckResult result = check(h);
+  EXPECT_EQ(result.nonlinearizable_ops, 2u);
+  EXPECT_EQ(result.worst_inversion, 95u);
+}
+
+TEST(Checker, ViolationAgainstAnyEarlierOp) {
+  // The violating predecessor need not be the latest one.
+  const History h = {op(0, 1, 50), op(10, 20, 0), op(2, 3, 7)};
+  const CheckResult result = check(h);
+  EXPECT_EQ(result.nonlinearizable_ops, 2u);  // ops 1 and 2 both dominated by op 0
+}
+
+TEST(Checker, UnsortedInputHandled) {
+  History h = {op(4, 6, 0), op(0, 10, 2), op(1, 3, 1)};
+  EXPECT_EQ(check(h).nonlinearizable_ops, 1u);
+}
+
+TEST(CheckerDeath, RejectsNegativeDuration) {
+  EXPECT_DEATH(check({op(5, 3, 0)}), "ends before it starts");
+}
+
+class CheckerRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckerRandom, MatchesBruteForce) {
+  Rng rng(GetParam());
+  History h;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const double start = rng.unit() * 100.0;
+    const double dur = rng.unit() * 20.0;
+    h.push_back(op(start, start + dur, rng.below(40)));
+  }
+  EXPECT_EQ(check(h).nonlinearizable_ops, brute_force_violations(h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerRandom, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(ValuesFormRange, Basics) {
+  std::string msg;
+  EXPECT_TRUE(values_form_range({op(0, 1, 1), op(0, 1, 0), op(0, 1, 2)}, &msg));
+  EXPECT_FALSE(values_form_range({op(0, 1, 0), op(0, 1, 2)}, &msg));
+  EXPECT_NE(msg.find("counting violated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnet::lin

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "lin/checker.h"
+#include "util/rng.h"
+
+namespace cnet::lin {
+namespace {
+
+Operation op(double start, double end, std::uint64_t value) {
+  return Operation{start, end, value, 0};
+}
+
+TEST(Windowed, EmptyIsClean) {
+  WindowedChecker checker(10.0);
+  checker.finish();
+  EXPECT_EQ(checker.total_ops(), 0u);
+  EXPECT_EQ(checker.nonlinearizable_ops(), 0u);
+}
+
+TEST(Windowed, DetectsSimpleViolation) {
+  WindowedChecker checker(100.0);
+  checker.add(op(0, 10, 2));
+  checker.add(op(1, 3, 1));
+  checker.add(op(4, 6, 0));
+  checker.finish();
+  EXPECT_EQ(checker.total_ops(), 3u);
+  EXPECT_EQ(checker.nonlinearizable_ops(), 1u);
+}
+
+TEST(Windowed, CleanSequentialStream) {
+  WindowedChecker checker(5.0);
+  for (int i = 0; i < 1000; ++i) {
+    checker.add(op(2.0 * i, 2.0 * i + 1, static_cast<std::uint64_t>(i)));
+  }
+  checker.finish();
+  EXPECT_EQ(checker.nonlinearizable_ops(), 0u);
+  EXPECT_EQ(checker.total_ops(), 1000u);
+}
+
+TEST(Windowed, TouchingEndpointsCountAsOverlap) {
+  WindowedChecker checker(50.0);
+  checker.add(op(0, 5, 1));
+  checker.add(op(5, 8, 0));
+  checker.finish();
+  EXPECT_EQ(checker.nonlinearizable_ops(), 0u);
+}
+
+/// Generates a lag-respecting history (durations <= lag), feeds the windowed
+/// checker in completion order, and cross-checks against the offline result.
+class WindowedVsOffline
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double, int>> {};
+
+TEST_P(WindowedVsOffline, Agree) {
+  const auto [seed, lag, n] = GetParam();
+  Rng rng(seed);
+  History h;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.unit() * 3.0;
+    const double dur = rng.unit() * (lag * 0.95);
+    // Values loosely increase with time but with enough noise to create
+    // genuine inversions.
+    const auto value = static_cast<std::uint64_t>(
+        std::max(0.0, t * 2.0 + (rng.unit() - 0.5) * 30.0));
+    h.push_back(op(t, t + dur, value));
+  }
+  const CheckResult offline = check(h);
+
+  History by_completion = h;
+  std::sort(by_completion.begin(), by_completion.end(),
+            [](const Operation& a, const Operation& b) { return a.end < b.end; });
+  WindowedChecker windowed(lag);
+  for (const Operation& o : by_completion) windowed.add(o);
+  windowed.finish();
+
+  EXPECT_EQ(windowed.total_ops(), offline.total_ops);
+  EXPECT_EQ(windowed.nonlinearizable_ops(), offline.nonlinearizable_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowedVsOffline,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5),
+                       ::testing::Values(5.0, 20.0, 100.0),
+                       ::testing::Values(200, 1000)));
+
+TEST(Windowed, BoundedOutOfOrderCompletionOrderAlsoWorks) {
+  // Feed in an order that is out-of-order by less than the lag.
+  Rng rng(77);
+  History h;
+  for (int i = 0; i < 500; ++i) {
+    const double start = i * 1.0;
+    h.push_back(op(start, start + rng.unit() * 4.0, static_cast<std::uint64_t>(i)));
+  }
+  const CheckResult offline = check(h);
+
+  // Perturb the feed order within a window of 4 entries (< lag = 5).
+  History feed = h;
+  std::sort(feed.begin(), feed.end(),
+            [](const Operation& a, const Operation& b) { return a.end < b.end; });
+  for (std::size_t i = 0; i + 1 < feed.size(); i += 2) std::swap(feed[i], feed[i + 1]);
+
+  WindowedChecker windowed(8.0);
+  for (const Operation& o : feed) windowed.add(o);
+  windowed.finish();
+  EXPECT_EQ(windowed.nonlinearizable_ops(), offline.nonlinearizable_ops);
+}
+
+}  // namespace
+}  // namespace cnet::lin

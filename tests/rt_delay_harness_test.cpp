@@ -1,0 +1,86 @@
+#include "rt/delay_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "topo/builders.h"
+
+namespace cnet::rt {
+namespace {
+
+unsigned sensible_threads() {
+  return std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+}
+
+TEST(DelayHarness, NoDelayRunCountsCorrectly) {
+  ExperimentParams params;
+  params.threads = sensible_threads();
+  params.total_ops = 20000;
+  params.delayed_fraction = 0.0;
+  params.wait_ns = 0;
+  const ExperimentResult result = run_experiment(topo::make_bitonic(16), params);
+  EXPECT_GE(result.history.size(), params.total_ops);
+  EXPECT_TRUE(result.counting_ok) << result.counting_message;
+  EXPECT_GT(result.throughput_ops_per_sec, 0.0);
+  EXPECT_GT(result.makespan_ns, 0.0);
+}
+
+TEST(DelayHarness, DelayedRunStillCounts) {
+  ExperimentParams params;
+  params.threads = sensible_threads();
+  params.total_ops = 2000;
+  params.delayed_fraction = 0.5;
+  params.wait_ns = 20000;  // 20us after every node
+  const ExperimentResult result = run_experiment(topo::make_bitonic(8), params);
+  EXPECT_TRUE(result.counting_ok) << result.counting_message;
+  // The analysis ran; its verdict is timing-dependent, but the fraction is
+  // well-defined and within [0, 1].
+  EXPECT_GE(result.analysis.fraction(), 0.0);
+  EXPECT_LE(result.analysis.fraction(), 1.0);
+}
+
+TEST(DelayHarness, McsConfigurationRuns) {
+  ExperimentParams params;
+  params.threads = sensible_threads();
+  params.total_ops = 5000;
+  params.counter.mode = BalancerMode::kMcsLocked;
+  const ExperimentResult result = run_experiment(topo::make_bitonic(8), params);
+  EXPECT_TRUE(result.counting_ok) << result.counting_message;
+}
+
+TEST(DelayHarness, DiffractingTreeRuns) {
+  ExperimentParams params;
+  params.threads = sensible_threads();
+  params.total_ops = 5000;
+  params.counter.diffraction = true;
+  const ExperimentResult result = run_experiment(topo::make_counting_tree(16), params);
+  EXPECT_TRUE(result.counting_ok) << result.counting_message;
+}
+
+TEST(DelayHarness, SingleThreadIsAlwaysLinearizable) {
+  ExperimentParams params;
+  params.threads = 1;
+  params.total_ops = 3000;
+  params.wait_ns = 1000;
+  params.delayed_fraction = 1.0;
+  const ExperimentResult result = run_experiment(topo::make_bitonic(8), params);
+  // One thread's operations are totally ordered: Def 2.4 can never fire.
+  EXPECT_TRUE(result.analysis.linearizable());
+  EXPECT_TRUE(result.counting_ok);
+}
+
+TEST(DelayHarness, HistoryTimesAreSane) {
+  ExperimentParams params;
+  params.threads = 2;
+  params.total_ops = 1000;
+  const ExperimentResult result = run_experiment(topo::make_bitonic(8), params);
+  for (const auto& op : result.history) {
+    EXPECT_LE(op.start, op.end);
+    EXPECT_GE(op.start, 0.0);
+    EXPECT_LE(op.end, result.makespan_ns);
+  }
+}
+
+}  // namespace
+}  // namespace cnet::rt

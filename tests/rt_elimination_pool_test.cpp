@@ -1,0 +1,115 @@
+#include "rt/elimination_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace cnet::rt {
+namespace {
+
+TEST(EliminationPool, SingleThreadRoundTrip) {
+  EliminationPool pool;
+  pool.push(0, 7);
+  pool.push(0, 8);
+  pool.push(0, 9);
+  EXPECT_EQ(pool.leaf_size() + pool.eliminations(), 3u);
+  std::vector<std::uint64_t> out = {pool.pop(0), pool.pop(0), pool.pop(0)};
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_EQ(pool.leaf_size(), 0u);
+}
+
+TEST(EliminationPool, ManyItemsNoLossNoDuplication) {
+  EliminationPool::Options options;
+  options.leaves = 4;
+  EliminationPool pool(options);
+  constexpr std::uint64_t kItems = 2000;
+  for (std::uint64_t i = 0; i < kItems; ++i) pool.push(0, i + 1);
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < kItems; ++i) out.push_back(pool.pop(0));
+  std::sort(out.begin(), out.end());
+  for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(out[i], i + 1);
+}
+
+TEST(EliminationPool, ConcurrentProducersConsumers) {
+  EliminationPool pool;
+  const unsigned pairs = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  const std::uint64_t per_thread = 20000;
+  std::vector<std::vector<std::uint64_t>> received(pairs);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned p = 0; p < pairs; ++p) {
+      threads.emplace_back([&pool, p, per_thread] {  // producer
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          pool.push(p, p * per_thread + i + 1);
+        }
+      });
+      threads.emplace_back([&pool, &out = received[p], p, pairs, per_thread] {  // consumer
+        out.reserve(per_thread);
+        for (std::uint64_t i = 0; i < per_thread; ++i) out.push_back(pool.pop(pairs + p));
+      });
+    }
+  }
+  std::vector<std::uint64_t> all;
+  for (auto& v : received) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(pairs) * per_thread);
+  for (std::uint64_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i + 1);
+  EXPECT_EQ(pool.leaf_size(), 0u);
+}
+
+TEST(EliminationPool, EliminationHappensUnderSymmetricLoad) {
+  EliminationPool::Options options;
+  options.prism_spin = 4096;  // generous window to make pairing very likely
+  EliminationPool pool(options);
+  std::uint64_t got = 0;
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&pool] {
+      for (std::uint64_t i = 1; i <= 30000; ++i) pool.push(0, i);
+    });
+    threads.emplace_back([&pool, &got] {
+      for (std::uint64_t i = 0; i < 30000; ++i) got += pool.pop(1) != 0;
+    });
+  }
+  EXPECT_EQ(got, 30000u);
+  // Not guaranteed in theory, but with a 4096-iteration window and symmetric
+  // push/pop load the prisms essentially cannot stay cold.
+  EXPECT_GT(pool.eliminations(), 0u);
+}
+
+TEST(EliminationPool, LeafSizeTracksImbalance) {
+  EliminationPool pool;
+  for (std::uint64_t i = 1; i <= 100; ++i) pool.push(0, i);
+  EXPECT_EQ(pool.leaf_size() + pool.eliminations(), 100u);
+  for (int i = 0; i < 40; ++i) pool.pop(0);
+  EXPECT_EQ(pool.leaf_size(), 60u);
+}
+
+TEST(EliminationPool, PopBlocksUntilMatchingPushArrives) {
+  EliminationPool pool;
+  std::uint64_t got = 0;
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&pool, &got] { got = pool.pop(0); });
+    threads.emplace_back([&pool] { pool.push(1, 99); });
+  }
+  EXPECT_EQ(got, 99u);
+}
+
+TEST(EliminationPoolDeath, RejectsHugeItems) {
+  EliminationPool pool;
+  EXPECT_DEATH(pool.push(0, 1ull << 62), "62 bits");
+}
+
+TEST(EliminationPoolDeath, RejectsBadLeafCount) {
+  EliminationPool::Options options;
+  options.leaves = 3;
+  EXPECT_DEATH(EliminationPool pool(options), "power of two");
+}
+
+}  // namespace
+}  // namespace cnet::rt

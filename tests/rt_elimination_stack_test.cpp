@@ -1,0 +1,101 @@
+#include "rt/elimination_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace cnet::rt {
+namespace {
+
+TEST(EliminationStack, SequentialLifoOrder) {
+  // The defining property vs the pool: sequential pops retrace pushes.
+  EliminationStack stack;
+  for (std::uint64_t i = 1; i <= 200; ++i) stack.push(0, i);
+  for (std::uint64_t i = 200; i >= 1; --i) ASSERT_EQ(stack.pop(0), i);
+  EXPECT_EQ(stack.leaf_size(), 0u);
+}
+
+TEST(EliminationStack, InterleavedPushPopSequential) {
+  EliminationStack stack;
+  stack.push(0, 1);
+  stack.push(0, 2);
+  EXPECT_EQ(stack.pop(0), 2u);
+  stack.push(0, 3);
+  EXPECT_EQ(stack.pop(0), 3u);
+  EXPECT_EQ(stack.pop(0), 1u);
+}
+
+TEST(EliminationStack, ToggleGoesNegativeAndRecovers) {
+  // A pop racing ahead of its push still meets it: start the pop first in
+  // another thread, then push.
+  EliminationStack::Options options;
+  options.prism_spin = 1;  // effectively disable elimination to force routing
+  options.prism_width = 1;
+  EliminationStack stack(options);
+  std::uint64_t got = 0;
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&stack, &got] { got = stack.pop(0); });
+    threads.emplace_back([&stack] { stack.push(1, 42); });
+  }
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(EliminationStack, ConcurrentNoLossNoDuplication) {
+  EliminationStack stack;
+  const unsigned pairs = std::min(3u, std::max(1u, std::thread::hardware_concurrency()));
+  const std::uint64_t per_thread = 15000;
+  std::vector<std::vector<std::uint64_t>> received(pairs);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned p = 0; p < pairs; ++p) {
+      threads.emplace_back([&stack, p, per_thread] {
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          stack.push(p, p * per_thread + i + 1);
+        }
+      });
+      threads.emplace_back([&stack, &out = received[p], p, pairs, per_thread] {
+        out.reserve(per_thread);
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          out.push_back(stack.pop(pairs + p));
+        }
+      });
+    }
+  }
+  std::vector<std::uint64_t> all;
+  for (auto& v : received) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(pairs) * per_thread);
+  for (std::uint64_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i + 1);
+  EXPECT_EQ(stack.leaf_size(), 0u);
+}
+
+TEST(EliminationStack, EliminationUnderSymmetricLoad) {
+  EliminationStack::Options options;
+  options.prism_spin = 4096;
+  EliminationStack stack(options);
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&stack] {
+      for (std::uint64_t i = 1; i <= 20000; ++i) stack.push(0, i);
+    });
+    threads.emplace_back([&stack] {
+      for (std::uint64_t i = 0; i < 20000; ++i) stack.pop(1);
+    });
+  }
+  EXPECT_GT(stack.eliminations(), 0u);
+  EXPECT_EQ(stack.leaf_size(), 0u);
+}
+
+TEST(EliminationStackDeath, GuardsItemsAndLeaves) {
+  EliminationStack stack;
+  EXPECT_DEATH(stack.push(0, 1ull << 63), "62 bits");
+  EliminationStack::Options options;
+  options.leaves = 5;
+  EXPECT_DEATH(EliminationStack bad(options), "power of two");
+}
+
+}  // namespace
+}  // namespace cnet::rt

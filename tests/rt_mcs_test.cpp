@@ -1,0 +1,81 @@
+#include "rt/mcs_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cnet::rt {
+namespace {
+
+TEST(RtMcsLock, SingleThreadAcquireRelease) {
+  McsLock lock;
+  McsLock::Node node;
+  lock.acquire(node);
+  lock.release(node);
+  lock.acquire(node);
+  lock.release(node);
+}
+
+TEST(RtMcsLock, GuardIsReentrantAcrossScopes) {
+  McsLock lock;
+  {
+    McsLock::Guard guard(lock);
+  }
+  {
+    McsLock::Guard guard(lock);
+  }
+}
+
+TEST(RtMcsLock, MutualExclusionStress) {
+  McsLock lock;
+  std::uint64_t plain_counter = 0;  // intentionally non-atomic
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  const unsigned n_threads = std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  const int per_thread = 20000;
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < per_thread; ++i) {
+          McsLock::Guard guard(lock);
+          const int now_inside = inside.fetch_add(1) + 1;
+          int expected = max_inside.load();
+          while (now_inside > expected && !max_inside.compare_exchange_weak(expected, now_inside)) {
+          }
+          ++plain_counter;
+          inside.fetch_sub(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(max_inside.load(), 1);
+  EXPECT_EQ(plain_counter, static_cast<std::uint64_t>(n_threads) * per_thread);
+}
+
+TEST(RtMcsLock, ManyLocksIndependent) {
+  constexpr int kLocks = 4;
+  McsLock locks[kLocks];
+  std::uint64_t counters[kLocks] = {};
+  const int per_thread = 5000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < per_thread; ++i) {
+          const int k = (t + i) % kLocks;
+          McsLock::Guard guard(locks[k]);
+          ++counters[k];
+        }
+      });
+    }
+  }
+  std::uint64_t total = 0;
+  for (auto c : counters) total += c;
+  EXPECT_EQ(total, 8u * per_thread);
+}
+
+}  // namespace
+}  // namespace cnet::rt

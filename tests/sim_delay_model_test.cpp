@@ -1,0 +1,87 @@
+#include "sim/delay_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cnet::sim {
+namespace {
+
+TEST(FixedDelay, AlwaysSame) {
+  FixedDelay d(2.5);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(d.link_delay(static_cast<TokenId>(i), i % 7, rng), 2.5);
+  }
+}
+
+TEST(FixedDelayDeath, RejectsNonPositive) {
+  EXPECT_DEATH(FixedDelay d(0.0), "c > 0");
+}
+
+TEST(UniformDelay, StaysWithinBounds) {
+  UniformDelay d(1.0, 3.0);
+  Rng rng(2);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d.link_delay(0, 1, rng);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LT(v, 3.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 1.1);  // actually explores the range
+  EXPECT_GT(hi, 2.9);
+}
+
+TEST(UniformDelay, DegenerateRangeIsFixed) {
+  UniformDelay d(2.0, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(d.link_delay(0, 0, rng), 2.0);
+}
+
+TEST(PaceModel, DefaultPace) {
+  PaceModel d(1.5);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(d.link_delay(0, 1, rng), 1.5);
+  EXPECT_DOUBLE_EQ(d.link_delay(99, 7, rng), 1.5);
+}
+
+TEST(PaceModel, PerTokenPace) {
+  PaceModel d(1.0);
+  d.set_pace(3, 10.0);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(d.link_delay(3, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(d.link_delay(3, 9, rng), 10.0);
+  EXPECT_DOUBLE_EQ(d.link_delay(4, 1, rng), 1.0);
+}
+
+TEST(PaceModel, PerLinkOverrideBeatsPace) {
+  PaceModel d(1.0);
+  d.set_pace(3, 10.0);
+  d.set_link_delay(3, 2, 0.25);
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(d.link_delay(3, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(d.link_delay(3, 2, rng), 0.25);
+  EXPECT_DOUBLE_EQ(d.link_delay(3, 3, rng), 10.0);
+}
+
+TEST(PaceModel, TailPaceFromLayer) {
+  PaceModel d(1.0);
+  d.set_pace_from_layer(5, 4, 7.0);
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(d.link_delay(5, 3, rng), 1.0);
+  EXPECT_DOUBLE_EQ(d.link_delay(5, 4, rng), 7.0);
+  EXPECT_DOUBLE_EQ(d.link_delay(5, 10, rng), 7.0);
+}
+
+TEST(PaceModel, TailCombinesWithExplicitPace) {
+  PaceModel d(1.0);
+  d.set_pace(5, 2.0);
+  d.set_pace_from_layer(5, 3, 9.0);
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(d.link_delay(5, 2, rng), 2.0);
+  EXPECT_DOUBLE_EQ(d.link_delay(5, 3, rng), 9.0);
+}
+
+}  // namespace
+}  // namespace cnet::sim

@@ -1,0 +1,180 @@
+#include "sim/knowledge.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "topo/builders.h"
+
+namespace cnet::sim {
+namespace {
+
+class KnowledgeLemmas
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(KnowledgeLemmas, HoldOnRandomExecutions) {
+  const auto [topology, c2, seed] = GetParam();
+  const topo::Network net = topology == 0   ? topo::make_bitonic(8)
+                            : topology == 1 ? topo::make_periodic(8)
+                                            : topo::make_counting_tree(16);
+  const double c1 = 1.0;
+  UniformDelay delays(c1, c2);
+  Simulator simulator(net, delays, seed);
+  simulator.enable_tracing();
+  Rng arrivals(seed + 17);
+  double t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    simulator.inject(static_cast<std::uint32_t>(i) % net.input_width(), t);
+    t += arrivals.unit() * 0.3;
+  }
+  simulator.run();
+
+  const KnowledgeReport report = analyze_knowledge(simulator, net, c1);
+  EXPECT_TRUE(report.lemma_3_1_holds);
+  EXPECT_TRUE(report.lemma_3_2_holds);
+  EXPECT_TRUE(report.lemma_3_3_holds);
+  EXPECT_EQ(report.counter_events, 400u);
+  // Every token produces one event per layer plus the counter arrival.
+  EXPECT_EQ(report.node_events, 400u * (net.depth() + 1));
+  EXPECT_GE(report.min_time_slack, -1e-6);
+  EXPECT_GE(report.min_knowledge_slack, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnowledgeLemmas,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(1.0, 2.0, 6.0),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(Knowledge, Lemma32TightAtFullSpeed) {
+  // With every link at exactly c1, information travels at exactly one link
+  // per c1: the time slack collapses to ~0.
+  const topo::Network net = topo::make_bitonic(8);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.enable_tracing();
+  for (int i = 0; i < 64; ++i) simulator.inject(static_cast<std::uint32_t>(i % 8), 0.0);
+  simulator.run();
+  const KnowledgeReport report = analyze_knowledge(simulator, net, 1.0);
+  EXPECT_TRUE(report.lemma_3_2_holds);
+  EXPECT_NEAR(report.min_time_slack, 0.0, 1e-9);
+}
+
+TEST(Knowledge, Lemma31TightOnSaturatedNetwork) {
+  // A full complement of tokens injected together: the last token out of
+  // each counter knows everything it is required to and little more at the
+  // bottom outputs — the minimum slack touches 0 when some a-th arrival at
+  // Y_i knows exactly w(a-1)+i+1 tokens. With exactly w tokens, the token
+  // exiting Y_0 first has |H| >= 1 and the requirement is 1.
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.enable_tracing();
+  simulator.inject(0, 0.0);
+  simulator.run();
+  const KnowledgeReport report = analyze_knowledge(simulator, net, 1.0);
+  EXPECT_TRUE(report.lemma_3_1_holds);
+  EXPECT_EQ(report.min_knowledge_slack, 0);  // |{T}| = 1 == w*0 + 0 + 1
+}
+
+TEST(Knowledge, SequentialTokensAccumulateKnowledge) {
+  // Tokens fed one at a time through the same input: the k-th token merges
+  // with the input balancer's history and must know all k predecessors by
+  // exit. Check via the lemma-3.1 slack on the final (w-th) arrival.
+  const topo::Network net = topo::make_bitonic(4);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.enable_tracing();
+  for (int i = 0; i < 40; ++i) simulator.inject(0, i * 100.0);
+  simulator.run();
+  const KnowledgeReport report = analyze_knowledge(simulator, net, 1.0);
+  EXPECT_TRUE(report.lemma_3_1_holds);
+  EXPECT_TRUE(report.lemma_3_2_holds);
+}
+
+TEST(Knowledge, AdversarialSchedulesStillRespectLemmas) {
+  // The §4 constructions violate linearizability but can never violate the
+  // knowledge lemmas — they are what limits any violation's reach.
+  const topo::Network net = topo::make_counting_tree(16);
+  PaceModel paces(1.0);
+  Simulator simulator(net, paces);
+  simulator.enable_tracing();
+  const TokenId t0 = simulator.inject(0, 0.0);
+  paces.set_pace(t0, 5.0);
+  simulator.inject(0, 0.0);
+  simulator.run_until(static_cast<double>(net.depth()));
+  simulator.inject_wave(0, 15, simulator.now() + 0.25);
+  simulator.run();
+  const KnowledgeReport report = analyze_knowledge(simulator, net, 1.0);
+  EXPECT_TRUE(report.lemma_3_1_holds);
+  EXPECT_TRUE(report.lemma_3_2_holds);
+}
+
+class InfluenceClosure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InfluenceClosure, MatchesKnowledgeAndIsPrefixExecution) {
+  // The two structural facts Lemma 3.1's proof needs: E' involves exactly
+  // the tokens of H_T, and E' is per-token/per-node prefix-closed (hence a
+  // legal execution of the network).
+  const topo::Network net = topo::make_bitonic(8);
+  UniformDelay delays(1.0, 4.0);
+  Simulator simulator(net, delays, GetParam());
+  simulator.enable_tracing();
+  Rng arrivals(GetParam() + 3);
+  double t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    simulator.inject(static_cast<std::uint32_t>(i % 8), t);
+    t += arrivals.unit() * 0.4;
+  }
+  simulator.run();
+
+  for (TokenId token : {TokenId{0}, TokenId{17}, TokenId{119}}) {
+    const ClosureCheck check = check_influence_closure(simulator, token);
+    EXPECT_TRUE(check.events_match_knowledge) << "token " << token;
+    EXPECT_TRUE(check.is_prefix_execution) << "token " << token;
+    EXPECT_GE(check.closure_tokens, 1u);
+    EXPECT_GE(check.closure_events, net.depth() + 1u);  // at least T's own events
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InfluenceClosure, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(InfluenceClosure, LoneTokenClosureIsItsOwnPath) {
+  const topo::Network net = topo::make_bitonic(4);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.enable_tracing();
+  simulator.inject(0, 0.0);
+  simulator.run();
+  const auto closure = influence_closure(simulator, 0);
+  EXPECT_EQ(closure.size(), net.depth() + 1u);
+  const ClosureCheck check = check_influence_closure(simulator, 0);
+  EXPECT_TRUE(check.events_match_knowledge);
+  EXPECT_TRUE(check.is_prefix_execution);
+  EXPECT_EQ(check.closure_tokens, 1u);
+}
+
+TEST(InfluenceClosure, SequentialTokensAccumulate) {
+  // Token k fed through the same wire after k-1 predecessors: its closure
+  // must involve all k tokens (they all influenced the entrance balancer).
+  const topo::Network net = topo::make_bitonic(4);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.enable_tracing();
+  for (int i = 0; i < 10; ++i) simulator.inject(0, i * 100.0);
+  simulator.run();
+  const ClosureCheck check = check_influence_closure(simulator, 9);
+  EXPECT_EQ(check.closure_tokens, 10u);
+  EXPECT_TRUE(check.events_match_knowledge);
+}
+
+TEST(KnowledgeDeath, RequiresTracing) {
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.inject(0, 0.0);
+  simulator.run();
+  EXPECT_DEATH(analyze_knowledge(simulator, net, 1.0), "traced");
+}
+
+}  // namespace
+}  // namespace cnet::sim

@@ -1,0 +1,154 @@
+#include "sim/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "theory/bounds.h"
+#include "topo/builders.h"
+
+namespace cnet::sim {
+namespace {
+
+TEST(Section1Example, ReproducesPaperValues) {
+  const ScenarioResult result = section1_example(1.0, 0.5);
+  ASSERT_EQ(result.history.size(), 3u);
+  EXPECT_EQ(result.history[0].value, 2u);  // T0
+  EXPECT_EQ(result.history[1].value, 1u);  // T1
+  EXPECT_EQ(result.history[2].value, 0u);  // T2
+  // T1 completely precedes T2 yet returned more: exactly one violation.
+  EXPECT_EQ(result.analysis.nonlinearizable_ops, 1u);
+  EXPECT_LT(result.history[1].end, result.history[2].start);
+}
+
+TEST(Section1Example, AnyPositiveEpsilonSuffices) {
+  for (double eps : {0.01, 0.1, 1.0, 10.0}) {
+    EXPECT_GE(section1_example(1.0, eps).analysis.nonlinearizable_ops, 1u) << eps;
+  }
+}
+
+class TreeTheorem : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeTheorem, ViolationWheneverC2Above2C1) {
+  // Thm 4.1: counting trees are not linearizable for c2 > 2*c1.
+  const std::uint32_t w = GetParam();
+  for (double eps : {0.05, 0.5, 2.0}) {
+    const ScenarioResult result = theorem_4_1_tree(w, 1.0, eps);
+    EXPECT_GE(result.analysis.nonlinearizable_ops, 1u) << "w=" << w << " eps=" << eps;
+  }
+}
+
+TEST_P(TreeTheorem, WaveTokenStealsValueZero) {
+  const ScenarioResult result = theorem_4_1_tree(GetParam(), 1.0, 0.5);
+  // The violating token is a wave token that returned 0 although T1 had
+  // already finished with value 1; T0 ends up with value w.
+  ASSERT_FALSE(result.analysis.violating_ops.empty());
+  const auto violator = result.analysis.violating_ops.front();
+  EXPECT_EQ(result.history[violator].value, 0u);
+  EXPECT_GE(violator, 2u);  // one of the wave tokens, not T0/T1
+  EXPECT_EQ(result.history[0].value, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TreeTheorem, ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u));
+
+class BitonicTheorem : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitonicTheorem, ViolationWheneverC2Above2C1) {
+  // Thm 4.3: bitonic networks are not linearizable for c2 > 2*c1.
+  const std::uint32_t w = GetParam();
+  for (double eps : {0.05, 0.5, 2.0}) {
+    const ScenarioResult result = theorem_4_3_bitonic(w, 1.0, eps);
+    EXPECT_GE(result.analysis.nonlinearizable_ops, 1u) << "w=" << w << " eps=" << eps;
+  }
+}
+
+TEST_P(BitonicTheorem, FastTokenReturnsOneAfterTwoCompleted) {
+  const std::uint32_t w = GetParam();
+  const ScenarioResult result = theorem_4_3_bitonic(w, 1.0, 0.5);
+  // T0 = value 0, T2 = value 2 (completed), and some later wave token
+  // returns value 1 -> it is flagged.
+  ASSERT_FALSE(result.analysis.violating_ops.empty());
+  bool value1_violates = false;
+  for (auto idx : result.analysis.violating_ops) {
+    value1_violates |= (result.history[idx].value == 1u);
+  }
+  EXPECT_TRUE(value1_violates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitonicTheorem, ::testing::Values(4u, 8u, 16u, 32u));
+
+TEST(Theorem44, NoViolationBelowThreshold) {
+  for (std::uint32_t w : {8u, 16u, 32u}) {
+    const double threshold = theory::bitonic_wave_threshold(w);
+    const ScenarioResult result = theorem_4_4_waves(w, 1.0, threshold * 0.8);
+    EXPECT_EQ(result.analysis.nonlinearizable_ops, 0u) << w;
+  }
+}
+
+TEST(Theorem44, ConstantFractionAboveThreshold) {
+  for (std::uint32_t w : {8u, 16u, 32u}) {
+    const double threshold = theory::bitonic_wave_threshold(w);
+    for (double factor : {1.2, 2.0}) {
+      const ScenarioResult result = theorem_4_4_waves(w, 1.0, threshold * factor);
+      // The entire third wave (w/2 of the 3w/2 operations) is flagged.
+      EXPECT_EQ(result.analysis.nonlinearizable_ops, w / 2) << "w=" << w << " f=" << factor;
+      EXPECT_NEAR(result.analysis.fraction(), 1.0 / 3.0, 1e-9);
+    }
+  }
+}
+
+TEST(SeparationProbe, Theorem36BoundIsTight) {
+  // Violations occur for finish-start gaps right below h*(c2 - 2*c1) and
+  // never above it.
+  const std::uint32_t w = 32;
+  const double c1 = 1.0;
+  const double c2 = 4.0;
+  const double bound =
+      theory::finish_start_separation(theory::tree_depth(w), c1, c2);
+  ASSERT_GT(bound, 0.0);
+  for (double frac : {0.1, 0.5, 0.95, 0.99}) {
+    EXPECT_GE(tree_separation_probe(w, c1, c2, bound * frac).analysis.nonlinearizable_ops, 1u)
+        << frac;
+  }
+  for (double frac : {1.01, 1.1, 2.0, 10.0}) {
+    EXPECT_EQ(tree_separation_probe(w, c1, c2, bound * frac).analysis.nonlinearizable_ops, 0u)
+        << frac;
+  }
+}
+
+class RandomExecutionGuarantee
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(RandomExecutionGuarantee, NoViolationsWhenC2AtMostTwiceC1) {
+  // Cor 3.9 validation: ANY uniform counting network is linearizable for
+  // c2 <= 2*c1, under arbitrary (here random) timing.
+  const auto [topology, seed] = GetParam();
+  const topo::Network net = topology == 0   ? topo::make_bitonic(16)
+                            : topology == 1 ? topo::make_periodic(8)
+                                            : topo::make_counting_tree(32);
+  RandomExecutionParams params;
+  params.tokens = 2000;
+  params.c1 = 1.0;
+  params.c2 = 2.0;
+  params.mean_interarrival = 0.05;
+  params.seed = seed;
+  const ScenarioResult result = random_execution(net, params);
+  EXPECT_EQ(result.analysis.nonlinearizable_ops, 0u);
+  EXPECT_EQ(result.history.size(), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomExecutionGuarantee,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(RandomExecution, BurstArrivalsSupported) {
+  RandomExecutionParams params;
+  params.tokens = 500;
+  params.mean_interarrival = 0.0;  // all at t = 0
+  params.c1 = 1.0;
+  params.c2 = 1.5;
+  const ScenarioResult result = random_execution(topo::make_bitonic(8), params);
+  EXPECT_EQ(result.history.size(), 500u);
+  EXPECT_EQ(result.analysis.nonlinearizable_ops, 0u);
+}
+
+}  // namespace
+}  // namespace cnet::sim

@@ -1,0 +1,151 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "lin/checker.h"
+#include "topo/builders.h"
+#include "topo/validate.h"
+
+namespace cnet::sim {
+namespace {
+
+TEST(Simulator, SingleTokenTraversalTime) {
+  // A token through a uniform depth-h network with fixed link delay c exits
+  // exactly h*c after entry.
+  for (std::uint32_t w : {2u, 8u, 32u}) {
+    const topo::Network net = topo::make_bitonic(w);
+    FixedDelay delays(3.0);
+    Simulator simulator(net, delays);
+    simulator.inject(0, 1.0);
+    simulator.run();
+    const TokenRecord& tok = simulator.token(0);
+    EXPECT_TRUE(tok.done);
+    EXPECT_DOUBLE_EQ(tok.exit_time, 1.0 + 3.0 * net.depth());
+    EXPECT_EQ(tok.value, 0u);
+    EXPECT_EQ(tok.output, 0u);
+  }
+}
+
+TEST(Simulator, SequentialTokensGetConsecutiveValues) {
+  const topo::Network net = topo::make_bitonic(8);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  for (int i = 0; i < 40; ++i) {
+    simulator.inject(static_cast<std::uint32_t>(i % 8), i * 100.0);
+  }
+  simulator.run();
+  for (std::uint64_t i = 0; i < 40; ++i) EXPECT_EQ(simulator.token(i).value, i);
+}
+
+TEST(Simulator, SimultaneousInjectionTieBreaksByOrder) {
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.inject(0, 0.0);
+  simulator.inject(0, 0.0);
+  simulator.run();
+  // First injected toggles first: port 0 -> value 0.
+  EXPECT_EQ(simulator.token(0).value, 0u);
+  EXPECT_EQ(simulator.token(1).value, 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const topo::Network net = topo::make_periodic(8);
+  auto run_once = [&net] {
+    UniformDelay delays(1.0, 2.0);
+    Simulator simulator(net, delays, /*seed=*/99);
+    for (int i = 0; i < 100; ++i) simulator.inject(static_cast<std::uint32_t>(i % 8), i * 0.1);
+    simulator.run();
+    std::vector<std::uint64_t> values;
+    for (const auto& tok : simulator.tokens()) values.push_back(tok.value);
+    return values;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, QuiescentCountsMatchSequentialRouter) {
+  const topo::Network net = topo::make_bitonic(16);
+  UniformDelay delays(1.0, 5.0);
+  Simulator simulator(net, delays, 7);
+  topo::SequentialRouter reference(net);
+  for (int i = 0; i < 300; ++i) {
+    const auto input = static_cast<std::uint32_t>((i * 7) % 16);
+    simulator.inject(input, i * 0.05);
+    reference.route_token(input);
+  }
+  simulator.run();
+  EXPECT_EQ(simulator.output_counts(), reference.output_counts());
+}
+
+TEST(Simulator, ValuesAreAlwaysARange) {
+  const topo::Network net = topo::make_counting_tree(16);
+  UniformDelay delays(1.0, 10.0);
+  Simulator simulator(net, delays, 3);
+  for (int i = 0; i < 500; ++i) simulator.inject(0, i * 0.01);
+  simulator.run();
+  std::string msg;
+  EXPECT_TRUE(lin::values_form_range(simulator.history(), &msg)) << msg;
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(10.0);
+  Simulator simulator(net, delays);
+  simulator.inject(0, 0.0);
+  simulator.inject(0, 0.0);
+  simulator.run_until(5.0);
+  EXPECT_FALSE(simulator.token(0).done);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+  simulator.run_until(10.0);  // exit events at t=10 are processed inclusively
+  EXPECT_TRUE(simulator.token(0).done);
+  EXPECT_TRUE(simulator.token(1).done);
+}
+
+TEST(Simulator, InjectAfterRunUntil) {
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.inject(0, 0.0);
+  simulator.run_until(2.0);
+  simulator.inject(0, 3.0);
+  simulator.run();
+  EXPECT_EQ(simulator.token(1).value, 1u);
+}
+
+TEST(Simulator, InjectWaveRoundRobinsInputs) {
+  const topo::Network net = topo::make_bitonic(4);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  const TokenId first = simulator.inject_wave(2, 6, 0.0);
+  EXPECT_EQ(first, 0u);
+  simulator.run();
+  EXPECT_EQ(simulator.token(0).input, 2u);
+  EXPECT_EQ(simulator.token(1).input, 3u);
+  EXPECT_EQ(simulator.token(2).input, 0u);
+  EXPECT_EQ(simulator.token(5).input, 3u);
+}
+
+TEST(SimulatorDeath, InjectIntoThePast) {
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(1.0);
+  Simulator simulator(net, delays);
+  simulator.inject(0, 5.0);
+  simulator.run();
+  EXPECT_DEATH(simulator.inject(0, 2.0), "past");
+}
+
+TEST(Simulator, HistoryMatchesTokenRecords) {
+  const topo::Network net = topo::make_balancer(2);
+  FixedDelay delays(2.0);
+  Simulator simulator(net, delays);
+  simulator.inject(1, 0.5);
+  simulator.run();
+  const lin::History hist = simulator.history();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_DOUBLE_EQ(hist[0].start, 0.5);
+  EXPECT_DOUBLE_EQ(hist[0].end, 2.5);
+  EXPECT_EQ(hist[0].value, 0u);
+}
+
+}  // namespace
+}  // namespace cnet::sim

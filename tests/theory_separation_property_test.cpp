@@ -1,0 +1,91 @@
+// Property: in EVERY execution — random or adversarial — any pair of
+// operations separated by more than the §3 bounds is correctly ordered:
+//   Thm 3.6   finish-start gap > h*c2 - 2*h*c1  =>  later value is larger
+//   Lemma 3.7 start-start gap  > 2*h*(c2 - c1)  =>  later value is larger
+// The checker below brute-forces all pairs of a history against both bounds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/scenarios.h"
+#include "sim/simulator.h"
+#include "theory/bounds.h"
+#include "topo/builders.h"
+
+namespace cnet::sim {
+namespace {
+
+struct PairViolations {
+  std::uint64_t finish_start = 0;
+  std::uint64_t start_start = 0;
+};
+
+PairViolations check_pairs(const lin::History& history, std::uint32_t depth, double c1,
+                           double c2) {
+  const double fs_bound = theory::finish_start_separation(depth, c1, c2);
+  const double ss_bound = theory::start_start_separation(depth, c1, c2);
+  PairViolations violations;
+  for (const lin::Operation& a : history) {
+    for (const lin::Operation& b : history) {
+      if (b.start > a.end + fs_bound && b.value < a.value) ++violations.finish_start;
+      if (b.start > a.start + ss_bound && b.value < a.value) ++violations.start_start;
+    }
+  }
+  return violations;
+}
+
+class SeparationProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(SeparationProperty, BoundsHoldOnRandomExecutions) {
+  const auto [topology, c2, seed] = GetParam();
+  const topo::Network net = topology == 0   ? topo::make_bitonic(8)
+                            : topology == 1 ? topo::make_periodic(8)
+                                            : topo::make_counting_tree(16);
+  RandomExecutionParams params;
+  params.tokens = 600;
+  params.c1 = 1.0;
+  params.c2 = c2;
+  params.mean_interarrival = 0.05;
+  params.seed = seed;
+  const ScenarioResult result = random_execution(net, params);
+  const PairViolations violations = check_pairs(result.history, net.depth(), 1.0, c2);
+  EXPECT_EQ(violations.finish_start, 0u);
+  EXPECT_EQ(violations.start_start, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeparationProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(2.0, 4.0, 10.0),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(SeparationProperty, BoundsHoldEvenInViolatingAdversarialRuns) {
+  // The §4 schedules violate Def 2.4, but never past the §3 bounds: the
+  // violating pairs are always *within* the separation windows.
+  for (std::uint32_t w : {8u, 32u}) {
+    const ScenarioResult tree = theorem_4_1_tree(w, 1.0, 2.0);
+    ASSERT_GT(tree.analysis.nonlinearizable_ops, 0u);
+    const PairViolations tree_pairs =
+        check_pairs(tree.history, tree.depth, tree.c1, tree.c2);
+    EXPECT_EQ(tree_pairs.finish_start, 0u) << w;
+    EXPECT_EQ(tree_pairs.start_start, 0u) << w;
+
+    const ScenarioResult bitonic = theorem_4_3_bitonic(w, 1.0, 2.0);
+    ASSERT_GT(bitonic.analysis.nonlinearizable_ops, 0u);
+    const PairViolations bitonic_pairs =
+        check_pairs(bitonic.history, bitonic.depth, bitonic.c1, bitonic.c2);
+    EXPECT_EQ(bitonic_pairs.finish_start, 0u) << w;
+    EXPECT_EQ(bitonic_pairs.start_start, 0u) << w;
+  }
+}
+
+TEST(SeparationProperty, WaveScheduleStaysWithinBounds) {
+  const ScenarioResult waves = theorem_4_4_waves(16, 1.0, 6.0);
+  ASSERT_GT(waves.analysis.nonlinearizable_ops, 0u);
+  const PairViolations pairs = check_pairs(waves.history, waves.depth, waves.c1, waves.c2);
+  EXPECT_EQ(pairs.finish_start, 0u);
+  EXPECT_EQ(pairs.start_start, 0u);
+}
+
+}  // namespace
+}  // namespace cnet::sim

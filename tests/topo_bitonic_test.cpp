@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "theory/bounds.h"
+#include "topo/builders.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace cnet::topo {
+namespace {
+
+class BitonicWidths : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitonicWidths, DepthMatchesFormula) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_bitonic(w);
+  EXPECT_EQ(net.depth(), theory::bitonic_depth(w));
+  EXPECT_TRUE(net.is_uniform());
+  EXPECT_EQ(net.input_width(), w);
+  EXPECT_EQ(net.output_width(), w);
+}
+
+TEST_P(BitonicWidths, NodeCountMatchesFormula) {
+  // w/2 balancers per layer, depth layers.
+  const std::uint32_t w = GetParam();
+  const Network net = make_bitonic(w);
+  EXPECT_EQ(net.node_count(), static_cast<std::size_t>(w / 2) * net.depth());
+  for (const auto& layer : net.layers()) EXPECT_EQ(layer.size(), w / 2);
+}
+
+TEST_P(BitonicWidths, AllNodesAre2x2) {
+  const Network net = make_bitonic(GetParam());
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    EXPECT_EQ(net.node(id).fan_in, 2u);
+    EXPECT_EQ(net.node(id).fan_out, 2u);
+  }
+}
+
+TEST_P(BitonicWidths, CountsRandomVectors) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_bitonic(w);
+  Rng rng(1000 + w);
+  const VerifyResult result = verify_counting_random(net, 3 * w, 300, rng);
+  EXPECT_TRUE(result.ok) << result.message;
+  EXPECT_EQ(result.vectors_checked, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitonicWidths, ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u));
+
+TEST(Bitonic, ExhaustiveSmall) {
+  EXPECT_TRUE(verify_counting_exhaustive(make_bitonic(2), 8).ok);
+  EXPECT_TRUE(verify_counting_exhaustive(make_bitonic(4), 5).ok);
+}
+
+TEST(Bitonic, Depth32Is15) {
+  // The width used throughout §5; depth log(32)*(log(32)+1)/2 = 15.
+  EXPECT_EQ(make_bitonic(32).depth(), 15u);
+}
+
+TEST(Bitonic, RejectsNonPowerOfTwo) {
+  EXPECT_DEATH(make_bitonic(3), "power of two");
+  EXPECT_DEATH(make_bitonic(0), "power of two");
+  EXPECT_DEATH(make_bitonic(1), "power of two");
+  EXPECT_DEATH(make_bitonic(12), "power of two");
+}
+
+TEST(Merger, IsUniformAndLogDepth) {
+  for (std::uint32_t w : {2u, 4u, 8u, 16u, 32u}) {
+    const Network net = make_merger(w);
+    EXPECT_EQ(net.depth(), log2_exact(w)) << w;
+    EXPECT_TRUE(net.is_uniform());
+  }
+}
+
+TEST(Merger, MergesTwoStepSequences) {
+  // A Merger[w] must produce a step output when each input half carries a
+  // step-shaped token load (the contract under which Bitonic uses it).
+  const std::uint32_t w = 16;
+  const Network net = make_merger(w);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t m1 = rng.between(0, 40);
+    const std::uint64_t m2 = rng.between(0, 40);
+    const auto top = step_vector(m1, w / 2);
+    const auto bot = step_vector(m2, w / 2);
+    std::vector<std::uint64_t> input;
+    input.insert(input.end(), top.begin(), top.end());
+    input.insert(input.end(), bot.begin(), bot.end());
+    EXPECT_TRUE(counts_for_vector(net, input)) << "m1=" << m1 << " m2=" << m2;
+  }
+}
+
+TEST(Merger, NotACountingNetworkOnArbitraryInput) {
+  // On non-step inputs the merger alone need not count; all tokens on one
+  // wire is the classic counterexample.
+  const Network net = make_merger(8);
+  std::vector<std::uint64_t> skewed(8, 0);
+  skewed[3] = 13;
+  bool all_ok = counts_for_vector(net, skewed);
+  skewed.assign(8, 0);
+  skewed[7] = 9;
+  all_ok = all_ok && counts_for_vector(net, skewed);
+  EXPECT_FALSE(all_ok);
+}
+
+}  // namespace
+}  // namespace cnet::topo

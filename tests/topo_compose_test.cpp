@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace cnet::topo {
+namespace {
+
+TEST(Compose, SerialDimensions) {
+  const Network a = make_block(8);
+  const Network b = make_block(8);
+  const Network cascade = make_serial(a, b);
+  EXPECT_EQ(cascade.input_width(), 8u);
+  EXPECT_EQ(cascade.output_width(), 8u);
+  EXPECT_EQ(cascade.depth(), a.depth() + b.depth());
+  EXPECT_EQ(cascade.node_count(), a.node_count() + b.node_count());
+  EXPECT_TRUE(cascade.is_uniform());
+}
+
+TEST(Compose, PeriodicEqualsCascadedBlocks) {
+  // Periodic[8] is literally Block[8] > Block[8] > Block[8]: the composed
+  // network must route every token identically.
+  const Network blocks =
+      make_serial(make_serial(make_block(8), make_block(8)), make_block(8));
+  const Network periodic = make_periodic(8);
+  EXPECT_EQ(blocks.depth(), periodic.depth());
+  EXPECT_EQ(blocks.node_count(), periodic.node_count());
+  SequentialRouter a(blocks);
+  SequentialRouter b(periodic);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto input = static_cast<std::uint32_t>(rng.below(8));
+    ASSERT_EQ(a.route_token(input), b.route_token(input));
+  }
+}
+
+TEST(Compose, CountingAfterCountingStillCounts) {
+  // A counting network's outputs are step-shaped; a second counting network
+  // preserves that, so the cascade counts.
+  const Network cascade = make_serial(make_bitonic(8), make_periodic(8));
+  Rng rng(9);
+  EXPECT_TRUE(verify_counting_random(cascade, 16, 200, rng).ok);
+}
+
+TEST(Compose, ParallelDimensions) {
+  const Network two = make_parallel(make_bitonic(4), make_bitonic(4));
+  EXPECT_EQ(two.input_width(), 8u);
+  EXPECT_EQ(two.output_width(), 8u);
+  EXPECT_EQ(two.node_count(), 2 * make_bitonic(4).node_count());
+  EXPECT_TRUE(two.is_uniform());
+}
+
+TEST(Compose, ParallelAloneDoesNotCount) {
+  const Network two = make_parallel(make_bitonic(4), make_bitonic(4));
+  Rng rng(10);
+  EXPECT_FALSE(verify_counting_random(two, 8, 300, rng).ok);
+}
+
+TEST(Compose, BitonicRecursionByHand) {
+  // Bitonic[8] == (Bitonic[4] | Bitonic[4]) > Merger[8]: the closed-form
+  // builder and the composed one route identically.
+  const Network by_hand =
+      make_serial(make_parallel(make_bitonic(4), make_bitonic(4)), make_merger(8));
+  const Network builtin = make_bitonic(8);
+  EXPECT_EQ(by_hand.depth(), builtin.depth());
+  EXPECT_EQ(by_hand.node_count(), builtin.node_count());
+  SequentialRouter a(by_hand);
+  SequentialRouter b(builtin);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const auto input = static_cast<std::uint32_t>(rng.below(8));
+    ASSERT_EQ(a.route_token(input), b.route_token(input));
+  }
+}
+
+TEST(Compose, MixedWidthParallel) {
+  const Network mixed = make_parallel(make_counting_tree(4), make_bitonic(2));
+  EXPECT_EQ(mixed.input_width(), 3u);  // tree has 1 input
+  EXPECT_EQ(mixed.output_width(), 6u);
+}
+
+TEST(ComposeDeath, SerialWidthMismatch) {
+  EXPECT_DEATH(make_serial(make_bitonic(4), make_bitonic(8)), "matching widths");
+}
+
+}  // namespace
+}  // namespace cnet::topo

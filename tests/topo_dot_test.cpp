@@ -1,0 +1,49 @@
+#include "topo/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace cnet::topo {
+namespace {
+
+std::size_t count_substr(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Dot, ContainsAllPorts) {
+  const Network net = make_bitonic(4);
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(dot.find("in" + std::to_string(i)), std::string::npos);
+    EXPECT_NE(dot.find("out" + std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST(Dot, EdgeCountMatchesTopology) {
+  const Network net = make_bitonic(4);
+  // Edges: 4 network inputs + sum of node fan-outs (6 nodes * 2).
+  const std::string dot = to_dot(net);
+  EXPECT_EQ(count_substr(dot, " -> "), 4u + 12u);
+}
+
+TEST(Dot, RanksOnePerLayer) {
+  const Network net = make_bitonic(8);
+  const std::string dot = to_dot(net);
+  EXPECT_EQ(count_substr(dot, "rank=same"), net.depth());
+}
+
+TEST(Dot, PassThroughNodesMarked) {
+  const Network net = make_padded(make_balancer(2), 2);
+  const std::string dot = to_dot(net);
+  EXPECT_EQ(count_substr(dot, "·"), 4u);  // four 1x1 pass nodes
+}
+
+}  // namespace
+}  // namespace cnet::topo

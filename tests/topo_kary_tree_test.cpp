@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "topo/builders.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace cnet::topo {
+namespace {
+
+class KaryTrees : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(KaryTrees, Structure) {
+  const auto [fan, height] = GetParam();
+  const Network net = make_kary_tree(fan, height);
+  std::uint32_t width = 1;
+  for (std::uint32_t l = 0; l < height; ++l) width *= fan;
+  EXPECT_EQ(net.input_width(), 1u);
+  EXPECT_EQ(net.output_width(), width);
+  EXPECT_EQ(net.depth(), height);
+  EXPECT_TRUE(net.is_uniform());
+  // (fan^height - 1) / (fan - 1) internal nodes.
+  EXPECT_EQ(net.node_count(), static_cast<std::size_t>(width - 1) / (fan - 1));
+}
+
+TEST_P(KaryTrees, SequentialTokensCountInOrder) {
+  const auto [fan, height] = GetParam();
+  const Network net = make_kary_tree(fan, height);
+  SequentialRouter router(net);
+  for (std::uint64_t k = 0; k < 3ull * net.output_width(); ++k) {
+    ASSERT_EQ(router.route_token(0), k % net.output_width());
+  }
+}
+
+TEST_P(KaryTrees, CountsAsBalancingNetwork) {
+  const auto [fan, height] = GetParam();
+  const Network net = make_kary_tree(fan, height);
+  Rng rng(61 + fan * 7 + height);
+  EXPECT_TRUE(verify_counting_random(net, 6 * net.output_width(), 150, rng).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(FanHeight, KaryTrees,
+                         ::testing::Combine(::testing::Values<std::uint32_t>(2, 3, 4, 5),
+                                            ::testing::Values<std::uint32_t>(1, 2, 3)));
+
+TEST(KaryTree, BinaryCaseMatchesCountingTree) {
+  const Network a = make_kary_tree(2, 4);
+  const Network b = make_counting_tree(16);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  SequentialRouter ra(a);
+  SequentialRouter rb(b);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(ra.route_token(0), rb.route_token(0));
+}
+
+TEST(KaryTree, ShallowerThanBinaryAtSameWidth) {
+  // A 4-ary tree of height 2 covers 16 outputs at depth 2 instead of 4 —
+  // less depth means less of Thm 3.6's padding effect, the paper's trade-off
+  // in its starkest form.
+  EXPECT_EQ(make_kary_tree(4, 2).depth(), 2u);
+  EXPECT_EQ(make_counting_tree(16).depth(), 4u);
+}
+
+TEST(KaryTreeDeath, Guards) {
+  EXPECT_DEATH(make_kary_tree(1, 3), "fan");
+  EXPECT_DEATH(make_kary_tree(2, 0), "height");
+}
+
+}  // namespace
+}  // namespace cnet::topo

@@ -1,0 +1,150 @@
+#include "topo/network.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "topo/validate.h"
+
+namespace cnet::topo {
+namespace {
+
+/// x0,x1 -> B0 -> B1 -> y0,y1 : two 2x2 balancers in series.
+Network two_balancer_chain() {
+  NetworkBuilder b(2, 2);
+  const NodeId b0 = b.add_node(2, 2);
+  const NodeId b1 = b.add_node(2, 2);
+  b.attach_input(0, b0, 0);
+  b.attach_input(1, b0, 1);
+  b.connect(b0, 0, b1, 0);
+  b.connect(b0, 1, b1, 1);
+  b.attach_output(b1, 0, 0);
+  b.attach_output(b1, 1, 1);
+  b.set_name("chain2");
+  return b.build();
+}
+
+TEST(NetworkBuilder, ChainStructure) {
+  const Network net = two_balancer_chain();
+  EXPECT_EQ(net.input_width(), 2u);
+  EXPECT_EQ(net.output_width(), 2u);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.depth(), 2u);
+  EXPECT_TRUE(net.is_uniform());
+  ASSERT_EQ(net.layers().size(), 2u);
+  EXPECT_EQ(net.layers()[0].size(), 1u);
+  EXPECT_EQ(net.layers()[1].size(), 1u);
+  EXPECT_EQ(net.node(0).layer, 1u);
+  EXPECT_EQ(net.node(1).layer, 2u);
+  EXPECT_EQ(net.name(), "chain2");
+}
+
+TEST(NetworkBuilder, SingleBalancer) {
+  const Network net = make_balancer(2);
+  EXPECT_EQ(net.depth(), 1u);
+  EXPECT_TRUE(net.is_uniform());
+  EXPECT_EQ(net.node(0).fan_in, 2u);
+  EXPECT_EQ(net.node(0).fan_out, 2u);
+  EXPECT_FALSE(net.node(0).is_pass_through());
+}
+
+TEST(NetworkBuilder, PassThroughNode) {
+  NetworkBuilder b(1, 1);
+  const NodeId n = b.add_node(1, 1);
+  b.attach_input(0, n, 0);
+  b.attach_output(n, 0, 0);
+  const Network net = b.build();
+  EXPECT_TRUE(net.node(0).is_pass_through());
+  EXPECT_EQ(net.depth(), 1u);
+}
+
+TEST(NetworkBuilder, NonUniformDetected) {
+  // x0 -> B0 -> B1 -> y0 ; x1 ----> B1 -> y1 : paths of length 1 and 2.
+  NetworkBuilder b(2, 2);
+  const NodeId b0 = b.add_node(1, 1);
+  const NodeId b1 = b.add_node(2, 2);
+  b.attach_input(0, b0, 0);
+  b.connect(b0, 0, b1, 0);
+  b.attach_input(1, b1, 1);
+  b.attach_output(b1, 0, 0);
+  b.attach_output(b1, 1, 1);
+  const Network net = b.build();
+  EXPECT_FALSE(net.is_uniform());
+  EXPECT_EQ(net.depth(), 2u);
+}
+
+TEST(NetworkBuilder, OutputFromShallowLayerIsNonUniform) {
+  // B0 feeds both an output directly and B1 which feeds the other output.
+  NetworkBuilder b(2, 2);
+  const NodeId b0 = b.add_node(2, 2);
+  const NodeId b1 = b.add_node(1, 1);
+  b.attach_input(0, b0, 0);
+  b.attach_input(1, b0, 1);
+  b.attach_output(b0, 0, 0);
+  b.connect(b0, 1, b1, 0);
+  b.attach_output(b1, 0, 1);
+  const Network net = b.build();
+  EXPECT_FALSE(net.is_uniform());
+}
+
+TEST(NetworkBuilderDeath, DanglingInputPort) {
+  NetworkBuilder b(1, 2);
+  const NodeId n = b.add_node(2, 2);
+  b.attach_input(0, n, 0);
+  // n's input port 1 left unwired.
+  b.attach_output(n, 0, 0);
+  b.attach_output(n, 1, 1);
+  EXPECT_DEATH(b.build(), "dangling input");
+}
+
+TEST(NetworkBuilderDeath, UnattachedNetworkOutput) {
+  NetworkBuilder b(2, 2);
+  const NodeId n = b.add_node(2, 2);
+  b.attach_input(0, n, 0);
+  b.attach_input(1, n, 1);
+  b.attach_output(n, 0, 0);
+  EXPECT_DEATH(b.build(), "unattached network output|dangling output");
+}
+
+TEST(NetworkBuilderDeath, DoubleWire) {
+  NetworkBuilder b(2, 2);
+  const NodeId a = b.add_node(2, 2);
+  b.attach_input(0, a, 0);
+  EXPECT_DEATH(b.attach_input(1, a, 0), "already wired");
+}
+
+TEST(SequentialRouter, BalancerAlternates) {
+  const Network net = make_balancer(2);
+  SequentialRouter router(net);
+  EXPECT_EQ(router.route_token(0), 0u);
+  EXPECT_EQ(router.route_token(0), 1u);
+  EXPECT_EQ(router.route_token(1), 0u);
+  EXPECT_EQ(router.route_token(1), 1u);
+  EXPECT_EQ(router.output_counts()[0], 2u);
+  EXPECT_EQ(router.output_counts()[1], 2u);
+}
+
+TEST(SequentialRouter, ValuesAreConsecutive) {
+  const Network net = make_bitonic(8);
+  SequentialRouter router(net);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(router.next_value(static_cast<std::uint32_t>(i % 8)), i);
+  }
+}
+
+TEST(SequentialRouter, ResetClearsState) {
+  const Network net = make_bitonic(4);
+  SequentialRouter router(net);
+  router.next_value(0);
+  router.next_value(1);
+  router.reset();
+  EXPECT_EQ(router.next_value(2), 0u);
+}
+
+TEST(SequentialRouter, SingleInputTree) {
+  const Network net = make_counting_tree(8);
+  SequentialRouter router(net);
+  for (std::uint64_t i = 0; i < 40; ++i) EXPECT_EQ(router.next_value(0), i);
+}
+
+}  // namespace
+}  // namespace cnet::topo

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "theory/bounds.h"
+#include "topo/builders.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace cnet::topo {
+namespace {
+
+TEST(Padded, DepthGrowsByPrefix) {
+  const Network base = make_bitonic(8);
+  for (std::uint32_t prefix : {0u, 1u, 5u, 12u}) {
+    const Network padded = make_padded(base, prefix);
+    EXPECT_EQ(padded.depth(), base.depth() + prefix);
+    EXPECT_TRUE(padded.is_uniform());
+    EXPECT_EQ(padded.input_width(), base.input_width());
+    EXPECT_EQ(padded.output_width(), base.output_width());
+  }
+}
+
+TEST(Padded, NodeCountGrowsByChains) {
+  const Network base = make_bitonic(8);
+  const Network padded = make_padded(base, 3);
+  EXPECT_EQ(padded.node_count(), base.node_count() + 3u * base.input_width());
+}
+
+TEST(Padded, PassThroughNodesAreOneByOne) {
+  const Network base = make_bitonic(4);
+  const Network padded = make_padded(base, 2);
+  std::size_t pass = 0;
+  for (NodeId id = 0; id < padded.node_count(); ++id) {
+    if (padded.node(id).is_pass_through()) ++pass;
+  }
+  EXPECT_EQ(pass, 2u * base.input_width());
+}
+
+TEST(Padded, StillCounts) {
+  const Network base = make_bitonic(8);
+  const Network padded = make_padded(base, 7);
+  Rng rng(4000);
+  EXPECT_TRUE(verify_counting_random(padded, 24, 300, rng).ok);
+}
+
+TEST(Padded, ZeroPrefixIsFaithfulClone) {
+  const Network base = make_periodic(8);
+  const Network clone = make_padded(base, 0);
+  EXPECT_EQ(clone.node_count(), base.node_count());
+  EXPECT_EQ(clone.depth(), base.depth());
+  // Same routing behaviour token-for-token.
+  SequentialRouter a(base);
+  SequentialRouter b(clone);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto input = static_cast<std::uint32_t>(rng.below(base.input_width()));
+    EXPECT_EQ(a.route_token(input), b.route_token(input));
+  }
+}
+
+TEST(Padded, SameValuesAsBase) {
+  // Padding only adds timing slack; the counting behaviour is untouched.
+  const Network base = make_counting_tree(8);
+  const Network padded = make_padded(base, 4);
+  SequentialRouter a(base);
+  SequentialRouter b(padded);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(a.next_value(0), b.next_value(0));
+}
+
+TEST(Padded, PrefixLengthFormula) {
+  // Cor 3.12: h*(k-2) pass-through nodes; resulting depth h*(k-1).
+  EXPECT_EQ(padding_prefix_length(15, 2), 0u);
+  EXPECT_EQ(padding_prefix_length(15, 3), 15u);
+  EXPECT_EQ(padding_prefix_length(15, 5), 45u);
+  EXPECT_EQ(theory::padded_depth(15, 5), 60u);
+  const Network base = make_bitonic(32);
+  const std::uint32_t k = 4;
+  const Network padded = make_padded(base, padding_prefix_length(base.depth(), k));
+  EXPECT_EQ(padded.depth(), theory::padded_depth(base.depth(), k));
+}
+
+}  // namespace
+}  // namespace cnet::topo

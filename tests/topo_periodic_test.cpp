@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "theory/bounds.h"
+#include "topo/builders.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace cnet::topo {
+namespace {
+
+class PeriodicWidths : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PeriodicWidths, DepthIsLogSquared) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_periodic(w);
+  EXPECT_EQ(net.depth(), theory::periodic_depth(w));
+  EXPECT_TRUE(net.is_uniform());
+}
+
+TEST_P(PeriodicWidths, CountsRandomVectors) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_periodic(w);
+  Rng rng(2000 + w);
+  const VerifyResult result = verify_counting_random(net, 3 * w, 300, rng);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PeriodicWidths, ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+TEST(Periodic, ExhaustiveSmall) {
+  EXPECT_TRUE(verify_counting_exhaustive(make_periodic(2), 8).ok);
+  EXPECT_TRUE(verify_counting_exhaustive(make_periodic(4), 4).ok);
+}
+
+TEST(Periodic, SingleBlockIsNotACountingNetwork) {
+  // A lone Block[w] does not count; only the log w cascade does. This pins
+  // down that make_periodic is genuinely more than one block.
+  const Network block = make_block(8);
+  Rng rng(42);
+  const VerifyResult result = verify_counting_random(block, 16, 400, rng);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Periodic, BlockDepthIsLog) {
+  for (std::uint32_t w : {2u, 4u, 8u, 16u, 32u}) {
+    EXPECT_EQ(make_block(w).depth(), log2_exact(w)) << w;
+  }
+}
+
+// The block structure matters: the two "natural" alternatives — the forward
+// butterfly (pair i with i+size/2, recurse halves) and the even/odd
+// recursion — do NOT yield counting networks when cascaded. This test
+// documents why make_periodic uses the recursive-mirror block of Dowd, Perl,
+// Rudolph & Saks.
+namespace wrongblocks {
+
+struct Wire {
+  NodeId node = kNoNode;
+  std::uint32_t port = 0;
+};
+
+void link(NetworkBuilder& b, Wire src, NodeId to, std::uint32_t in_port) {
+  if (src.node == kNoNode) {
+    b.attach_input(src.port, to, in_port);
+  } else {
+    b.connect(src.node, src.port, to, in_port);
+  }
+}
+
+std::pair<Wire, Wire> bal2(NetworkBuilder& b, Wire x, Wire y) {
+  const NodeId id = b.add_node(2, 2);
+  link(b, x, id, 0);
+  link(b, y, id, 1);
+  return {Wire{id, 0}, Wire{id, 1}};
+}
+
+void butterfly_block(NetworkBuilder& b, std::vector<Wire>& w, std::size_t lo, std::size_t n) {
+  if (n < 2) return;
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    auto [y0, y1] = bal2(b, w[lo + i], w[lo + half + i]);
+    w[lo + i] = y0;
+    w[lo + half + i] = y1;
+  }
+  butterfly_block(b, w, lo, half);
+  butterfly_block(b, w, lo + half, half);
+}
+
+Network butterfly_periodic(std::uint32_t width) {
+  NetworkBuilder b(width, width);
+  std::vector<Wire> wires(width);
+  for (std::uint32_t i = 0; i < width; ++i) wires[i] = Wire{kNoNode, i};
+  for (std::uint32_t r = 0; r < log2_exact(width); ++r)
+    butterfly_block(b, wires, 0, wires.size());
+  for (std::uint32_t i = 0; i < width; ++i) b.attach_output(wires[i].node, wires[i].port, i);
+  return b.build();
+}
+
+}  // namespace wrongblocks
+
+TEST(Periodic, ButterflyBlockCascadeDoesNotCount) {
+  const Network net = wrongblocks::butterfly_periodic(8);
+  Rng rng(77);
+  EXPECT_FALSE(verify_counting_random(net, 16, 500, rng).ok);
+}
+
+TEST(Periodic, SameSizeAsButterflyVariant) {
+  // Sanity: the rejected variant has identical dimensions — only the wiring
+  // differs — so the counting failure is genuinely structural.
+  const Network good = make_periodic(8);
+  const Network bad = wrongblocks::butterfly_periodic(8);
+  EXPECT_EQ(good.node_count(), bad.node_count());
+  EXPECT_EQ(good.depth(), bad.depth());
+}
+
+}  // namespace
+}  // namespace cnet::topo

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "theory/bounds.h"
+#include "topo/builders.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace cnet::topo {
+namespace {
+
+class TreeWidths : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeWidths, Structure) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_counting_tree(w);
+  EXPECT_EQ(net.input_width(), 1u);
+  EXPECT_EQ(net.output_width(), w);
+  EXPECT_EQ(net.depth(), theory::tree_depth(w));
+  EXPECT_EQ(net.node_count(), static_cast<std::size_t>(w) - 1);
+  EXPECT_TRUE(net.is_uniform());
+}
+
+TEST_P(TreeWidths, AllNodesAreOneInTwoOut) {
+  const Network net = make_counting_tree(GetParam());
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    EXPECT_EQ(net.node(id).fan_in, 1u);
+    EXPECT_EQ(net.node(id).fan_out, 2u);
+  }
+}
+
+TEST_P(TreeWidths, SequentialTokensCountInOrder) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_counting_tree(w);
+  SequentialRouter router(net);
+  // The k-th token must exit on leaf k mod w and receive value k: this is
+  // the defining property of the counting tree's shuffle leaf order.
+  for (std::uint64_t k = 0; k < 4ull * w; ++k) {
+    EXPECT_EQ(router.route_token(0), k % w);
+  }
+}
+
+TEST_P(TreeWidths, CountsAsBalancingNetwork) {
+  const std::uint32_t w = GetParam();
+  const Network net = make_counting_tree(w);
+  Rng rng(3000 + w);
+  EXPECT_TRUE(verify_counting_random(net, 8 * w, 200, rng).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TreeWidths, ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u));
+
+TEST(Tree, LayerSizesDouble) {
+  const Network net = make_counting_tree(16);
+  ASSERT_EQ(net.layers().size(), 4u);
+  EXPECT_EQ(net.layers()[0].size(), 1u);
+  EXPECT_EQ(net.layers()[1].size(), 2u);
+  EXPECT_EQ(net.layers()[2].size(), 4u);
+  EXPECT_EQ(net.layers()[3].size(), 8u);
+}
+
+TEST(Tree, Width32HasDepth5) {
+  // The §5 configuration: a width-32 tree of depth 5 (vs 15 for bitonic) —
+  // the "lower depth" the paper blames for the tree's higher violation rate.
+  EXPECT_EQ(make_counting_tree(32).depth(), 5u);
+}
+
+TEST(Tree, RejectsBadWidths) {
+  EXPECT_DEATH(make_counting_tree(3), "power of two");
+  EXPECT_DEATH(make_counting_tree(1), "power of two");
+}
+
+}  // namespace
+}  // namespace cnet::topo

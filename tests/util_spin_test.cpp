@@ -1,0 +1,47 @@
+#include "util/spin.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace cnet {
+namespace {
+
+TEST(SpinWaiter, MakesProgressUnderOversubscription) {
+  // A flag-ping across more threads than cores must still converge quickly
+  // because the waiter yields past its spin budget.
+  std::atomic<int> turn{0};
+  constexpr int kRounds = 2000;
+  {
+    std::vector<std::jthread> threads;
+    for (int id = 0; id < 4; ++id) {
+      threads.emplace_back([&turn, id] {
+        SpinWaiter waiter;
+        for (int round = 0; round < kRounds; ++round) {
+          while (turn.load(std::memory_order_acquire) % 4 != id) waiter.wait();
+          turn.fetch_add(1, std::memory_order_acq_rel);
+          waiter.reset();
+        }
+      });
+    }
+  }
+  EXPECT_EQ(turn.load(), 4 * kRounds);
+}
+
+TEST(SpinWaiter, ResetRestartsTheBudget) {
+  SpinWaiter waiter;
+  for (int i = 0; i < 1000; ++i) waiter.wait();  // deep into yield territory
+  waiter.reset();
+  waiter.wait();  // back to cheap pause; nothing observable to assert beyond
+                  // not crashing — the progress test above covers semantics
+  SUCCEED();
+}
+
+TEST(CpuRelax, IsCallable) {
+  for (int i = 0; i < 100; ++i) cpu_relax();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cnet

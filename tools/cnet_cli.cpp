@@ -1,0 +1,208 @@
+// cnet command-line tool: build, inspect, verify, and exercise counting
+// networks without writing code.
+//
+//   cnet_cli info <bitonic|periodic|tree> <width>
+//       structure summary: depth, nodes, layers, uniformity, theory bounds
+//   cnet_cli dot <bitonic|periodic|tree> <width>
+//       Graphviz rendering on stdout
+//   cnet_cli verify <bitonic|periodic|tree> <width> [trials] [max-per-input]
+//       randomized counting-property verification
+//   cnet_cli simulate <bitonic|periodic|tree> <width> <tokens> <c2/c1> [seed]
+//       random execution in the paper's timing model + Def 2.4 analysis
+//   cnet_cli workload <bitonic|tree> <n> <F%> <W> [ops] [seed]
+//       the paper's §5 experiment on the simulated multiprocessor
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "psim/machine.h"
+#include "sim/exhaustive.h"
+#include "sim/scenarios.h"
+#include "theory/bounds.h"
+#include "topo/builders.h"
+#include "topo/dot.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cnet;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cnet_cli info     <bitonic|periodic|tree> <width>\n"
+               "  cnet_cli dot      <bitonic|periodic|tree> <width>\n"
+               "  cnet_cli verify   <bitonic|periodic|tree> <width> [trials] [max-per-input]\n"
+               "  cnet_cli simulate <bitonic|periodic|tree> <width> <tokens> <c2/c1> [seed]\n"
+               "  cnet_cli workload <bitonic|tree> <n> <F%%> <W> [ops] [seed]\n"
+               "  cnet_cli exhaustive <bitonic|periodic|tree> <width> <tokens> <c2/c1>"
+               " [slots] [step]\n");
+  return 2;
+}
+
+topo::Network build(const std::string& kind, std::uint32_t width) {
+  if (kind == "bitonic") return topo::make_bitonic(width);
+  if (kind == "periodic") return topo::make_periodic(width);
+  if (kind == "tree") return topo::make_counting_tree(width);
+  std::fprintf(stderr, "unknown topology '%s'\n", kind.c_str());
+  std::exit(2);
+}
+
+int cmd_info(const std::string& kind, std::uint32_t width) {
+  const topo::Network net = build(kind, width);
+  std::printf("%s\n", net.name().c_str());
+  std::printf("  inputs x outputs : %u x %u\n", net.input_width(), net.output_width());
+  std::printf("  depth (links)    : %u\n", net.depth());
+  std::printf("  balancing nodes  : %zu\n", net.node_count());
+  std::printf("  uniform (Def 2.1): %s\n", net.is_uniform() ? "yes" : "no");
+  std::printf("  layers           : ");
+  for (const auto& layer : net.layers()) std::printf("%zu ", layer.size());
+  std::printf("\n");
+  std::printf("theory (c1 = 1):\n");
+  std::printf("  linearizable for any timing with c2 <= 2 (Cor 3.9)\n");
+  for (double c2 : {3.0, 4.0, 8.0}) {
+    std::printf("  c2 = %.0f: safe finish-start separation %.0f (Thm 3.6), start-start %.0f"
+                " (Lemma 3.7), padding for always-linearizable %u nodes (Cor 3.12)\n",
+                c2, theory::finish_start_separation(net.depth(), 1.0, c2),
+                theory::start_start_separation(net.depth(), 1.0, c2),
+                theory::padding_prefix_length(net.depth(), static_cast<std::uint32_t>(c2)));
+  }
+  return 0;
+}
+
+int cmd_verify(const std::string& kind, std::uint32_t width, std::uint64_t trials,
+               std::uint64_t max_per_input) {
+  const topo::Network net = build(kind, width);
+  Rng rng(0xc0ffee);
+  const topo::VerifyResult result = topo::verify_counting_random(net, max_per_input, trials, rng);
+  if (result.ok) {
+    std::printf("OK: %s counts on %llu random input vectors (up to %llu tokens/input)\n",
+                net.name().c_str(), static_cast<unsigned long long>(result.vectors_checked),
+                static_cast<unsigned long long>(max_per_input));
+    return 0;
+  }
+  std::printf("FAIL: %s\n", result.message.c_str());
+  return 1;
+}
+
+int cmd_simulate(const std::string& kind, std::uint32_t width, std::uint32_t tokens,
+                 double ratio, std::uint64_t seed) {
+  const topo::Network net = build(kind, width);
+  sim::RandomExecutionParams params;
+  params.tokens = tokens;
+  params.c1 = 1.0;
+  params.c2 = ratio;
+  params.mean_interarrival = 0.05;
+  params.seed = seed;
+  const sim::ScenarioResult result = sim::random_execution(net, params);
+  std::printf("%s, %u tokens, c2/c1 = %.2f, seed %llu\n", net.name().c_str(), tokens, ratio,
+              static_cast<unsigned long long>(seed));
+  std::printf("  non-linearizable ops: %llu (%.4f%%), worst inversion %llu\n",
+              static_cast<unsigned long long>(result.analysis.nonlinearizable_ops),
+              result.analysis.fraction() * 100.0,
+              static_cast<unsigned long long>(result.analysis.worst_inversion));
+  std::printf("  theory: violations %s for this ratio (threshold 2.0)\n",
+              theory::violation_constructible(1.0, ratio) ? "constructible" : "impossible");
+  return 0;
+}
+
+int cmd_workload(const std::string& kind, std::uint32_t n, double f_percent, std::uint64_t wait,
+                 std::uint64_t ops, std::uint64_t seed) {
+  const bool tree = kind == "tree";
+  const topo::Network net = tree ? topo::make_counting_tree(32) : topo::make_bitonic(32);
+  psim::MachineParams params;
+  params.processors = n;
+  params.total_ops = ops;
+  params.delayed_fraction = f_percent / 100.0;
+  params.wait_cycles = wait;
+  params.use_diffraction = tree;
+  params.seed = seed;
+  const psim::MachineResult result = psim::run_workload(net, params);
+  std::printf("%s, n = %u, F = %.0f%%, W = %llu, %llu ops (seed %llu)\n", net.name().c_str(), n,
+              f_percent, static_cast<unsigned long long>(wait),
+              static_cast<unsigned long long>(ops), static_cast<unsigned long long>(seed));
+  std::printf("  avg Tog             : %.1f cycles\n", result.avg_tog);
+  std::printf("  avg c2/c1 (Fig 7)   : %.2f\n", result.avg_c2_over_c1);
+  std::printf("  non-linearizable ops: %llu of %zu (%.3f%%)\n",
+              static_cast<unsigned long long>(result.analysis.nonlinearizable_ops),
+              result.history.size(), result.analysis.fraction() * 100.0);
+  std::printf("  toggles/diffractions: %llu / %llu\n",
+              static_cast<unsigned long long>(result.toggles),
+              static_cast<unsigned long long>(result.diffractions));
+  std::printf("  makespan            : %llu cycles\n",
+              static_cast<unsigned long long>(result.makespan));
+  return 0;
+}
+
+int cmd_exhaustive(const std::string& kind, std::uint32_t width, std::uint32_t tokens,
+                   double ratio, std::uint32_t slots, double step) {
+  const topo::Network net = build(kind, width);
+  sim::ExhaustiveParams params;
+  params.tokens = tokens;
+  params.c1 = 1.0;
+  params.c2 = ratio;
+  params.entry_slots = slots;
+  params.entry_step = step;
+  const sim::ExhaustiveResult result = sim::exhaustive_search(net, params);
+  std::printf("%s, %u tokens, c2/c1 = %.2f, %u-slot lattice (step %.3f)\n", net.name().c_str(),
+              tokens, ratio, slots, step);
+  std::printf("  schedules checked: %llu\n",
+              static_cast<unsigned long long>(result.schedules_checked));
+  if (!result.violation_found) {
+    std::printf("  no violating schedule exists in this class\n");
+    return 0;
+  }
+  std::printf("  VIOLATION — witness schedule:\n");
+  for (std::size_t t = 0; t < result.witness.tokens.size(); ++t) {
+    const auto& token = result.witness.tokens[t];
+    std::printf("    T%zu: x%u @ %.3f, delays [", t, token.input, token.entry);
+    for (std::size_t l = 0; l < token.link_delays.size(); ++l) {
+      std::printf("%s%.2f", l ? " " : "", token.link_delays[l]);
+    }
+    std::printf("] -> value %llu at %.3f\n", static_cast<unsigned long long>(token.value),
+                token.exit);
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string kind = argv[2];
+  if (command == "info" && argc >= 4) {
+    return cmd_info(kind, static_cast<std::uint32_t>(std::atoi(argv[3])));
+  }
+  if (command == "dot" && argc >= 4) {
+    std::cout << topo::to_dot(build(kind, static_cast<std::uint32_t>(std::atoi(argv[3]))));
+    return 0;
+  }
+  if (command == "verify" && argc >= 4) {
+    return cmd_verify(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500,
+                      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 32);
+  }
+  if (command == "simulate" && argc >= 6) {
+    return cmd_simulate(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                        static_cast<std::uint32_t>(std::atoi(argv[4])), std::atof(argv[5]),
+                        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1);
+  }
+  if (command == "exhaustive" && argc >= 6) {
+    return cmd_exhaustive(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                          static_cast<std::uint32_t>(std::atoi(argv[4])), std::atof(argv[5]),
+                          argc > 6 ? static_cast<std::uint32_t>(std::atoi(argv[6])) : 8,
+                          argc > 7 ? std::atof(argv[7]) : 0.5);
+  }
+  if (command == "workload" && argc >= 6) {
+    return cmd_workload(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                        std::atof(argv[4]), std::strtoull(argv[5], nullptr, 10),
+                        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 5000,
+                        argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 1);
+  }
+  return usage();
+}
