@@ -1,16 +1,20 @@
 // Real-thread throughput: the scalability claim that motivates counting
 // networks (§1). Compares a central atomic fetch_add counter, an MCS-locked
-// counter, and the counting-network counters (bitonic lock-free, bitonic
-// MCS-balancer, periodic, diffracting tree) across thread counts.
+// counter, and the counting-network counters across thread counts — with the
+// network counters run through both executors (the compiled RoutingPlan and
+// the original graph walk) plus the batched plan API, so the plan's speedup
+// is measurable inside one binary.
 //
 // google-benchmark's ->Threads(n) runs the benchmark body on n threads
-// concurrently; counters are rebuilt per run via setup in the fixture-less
-// pattern below (state.thread_index() gives the dense thread id the
-// NetworkCounter API needs).
+// concurrently. Shared state is (re)built in ->Setup() hooks, which the
+// framework invokes on the main thread before any benchmark thread starts —
+// rebuilding inside the body under `state.thread_index() == 0` raced with
+// non-zero threads already entering the measurement loop.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <memory>
+#include <vector>
 
 #include "rt/diffracting_tree.h"
 #include "rt/mcs_lock.h"
@@ -25,14 +29,15 @@ using namespace cnet;
 
 std::atomic<std::uint64_t> g_atomic_counter{0};
 
+void setup_central_atomic(const benchmark::State&) { g_atomic_counter.store(0); }
+
 void BM_CentralAtomic(benchmark::State& state) {
-  if (state.thread_index() == 0) g_atomic_counter.store(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(g_atomic_counter.fetch_add(1, std::memory_order_acq_rel));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CentralAtomic)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_CentralAtomic)->Setup(setup_central_atomic)->ThreadRange(1, 8)->UseRealTime();
 
 struct LockedCounter {
   rt::McsLock lock;
@@ -41,76 +46,142 @@ struct LockedCounter {
     rt::McsLock::Guard guard(lock);
     return value++;
   }
+  void reset() {
+    rt::McsLock::Guard guard(lock);
+    value = 0;
+  }
 };
 LockedCounter g_locked_counter;
 
+void setup_mcs_locked(const benchmark::State&) { g_locked_counter.reset(); }
+
 void BM_McsLockedCounter(benchmark::State& state) {
-  if (state.thread_index() == 0) g_locked_counter.value = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(g_locked_counter.next());
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_McsLockedCounter)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_McsLockedCounter)->Setup(setup_mcs_locked)->ThreadRange(1, 8)->UseRealTime();
 
 // --- counting networks --------------------------------------------------
 
 std::unique_ptr<rt::NetworkCounter> g_network_counter;
 std::unique_ptr<rt::DiffractingTree> g_tree;
 
-void BM_BitonicFetchAdd(benchmark::State& state) {
-  if (state.thread_index() == 0) {
-    g_network_counter = std::make_unique<rt::NetworkCounter>(
-        topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))));
-  }
-  const auto tid = static_cast<std::uint32_t>(state.thread_index());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(g_network_counter->next(tid));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BitonicFetchAdd)->Arg(8)->Arg(32)->ThreadRange(1, 8)->UseRealTime();
+void teardown_network_counter(const benchmark::State&) { g_network_counter.reset(); }
+void teardown_tree(const benchmark::State&) { g_tree.reset(); }
 
-void BM_BitonicMcsBalancers(benchmark::State& state) {
-  if (state.thread_index() == 0) {
-    rt::CounterOptions options;
-    options.mode = rt::BalancerMode::kMcsLocked;
-    g_network_counter = std::make_unique<rt::NetworkCounter>(
-        topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))), options);
-  }
-  const auto tid = static_cast<std::uint32_t>(state.thread_index());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(g_network_counter->next(tid));
-  }
-  state.SetItemsProcessed(state.iterations());
+rt::CounterOptions engine_options(rt::ExecutionEngine engine) {
+  rt::CounterOptions options;
+  options.engine = engine;
+  return options;
 }
-BENCHMARK(BM_BitonicMcsBalancers)->Arg(32)->ThreadRange(1, 8)->UseRealTime();
 
-void BM_Periodic(benchmark::State& state) {
-  if (state.thread_index() == 0) {
-    g_network_counter = std::make_unique<rt::NetworkCounter>(
-        topo::make_periodic(static_cast<std::uint32_t>(state.range(0))));
-  }
+void setup_bitonic_plan(const benchmark::State& state) {
+  g_network_counter = std::make_unique<rt::NetworkCounter>(
+      topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))),
+      engine_options(rt::ExecutionEngine::kCompiledPlan));
+}
+
+void setup_bitonic_graph_walk(const benchmark::State& state) {
+  g_network_counter = std::make_unique<rt::NetworkCounter>(
+      topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))),
+      engine_options(rt::ExecutionEngine::kGraphWalk));
+}
+
+void run_single_token_body(benchmark::State& state) {
   const auto tid = static_cast<std::uint32_t>(state.thread_index());
   for (auto _ : state) {
     benchmark::DoNotOptimize(g_network_counter->next(tid));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_Periodic)->Arg(16)->ThreadRange(1, 8)->UseRealTime();
+
+/// Compiled-plan executor (the production default).
+void BM_BitonicFetchAdd(benchmark::State& state) { run_single_token_body(state); }
+BENCHMARK(BM_BitonicFetchAdd)
+    ->Setup(setup_bitonic_plan)
+    ->Teardown(teardown_network_counter)
+    ->Arg(8)
+    ->Arg(32)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+/// The original per-token topo::Network walk, kept benchmarkable as the
+/// before/after reference for the plan.
+void BM_BitonicGraphWalk(benchmark::State& state) { run_single_token_body(state); }
+BENCHMARK(BM_BitonicGraphWalk)
+    ->Setup(setup_bitonic_graph_walk)
+    ->Teardown(teardown_network_counter)
+    ->Arg(8)
+    ->Arg(32)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+/// Batched plan API: range(1) tokens per next_batch call.
+void BM_BitonicFetchAddBatch(benchmark::State& state) {
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  const auto input = tid % g_network_counter->network().input_width();
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    g_network_counter->next_batch(tid, input, values);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_BitonicFetchAddBatch)
+    ->Setup(setup_bitonic_plan)
+    ->Teardown(teardown_network_counter)
+    ->Args({32, 16})
+    ->Args({32, 64})
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+void setup_bitonic_mcs(const benchmark::State& state) {
+  rt::CounterOptions options;
+  options.mode = rt::BalancerMode::kMcsLocked;
+  g_network_counter = std::make_unique<rt::NetworkCounter>(
+      topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))), options);
+}
+
+void BM_BitonicMcsBalancers(benchmark::State& state) { run_single_token_body(state); }
+BENCHMARK(BM_BitonicMcsBalancers)
+    ->Setup(setup_bitonic_mcs)
+    ->Teardown(teardown_network_counter)
+    ->Arg(32)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+void setup_periodic_plan(const benchmark::State& state) {
+  g_network_counter = std::make_unique<rt::NetworkCounter>(
+      topo::make_periodic(static_cast<std::uint32_t>(state.range(0))));
+}
+
+void BM_Periodic(benchmark::State& state) { run_single_token_body(state); }
+BENCHMARK(BM_Periodic)
+    ->Setup(setup_periodic_plan)
+    ->Teardown(teardown_network_counter)
+    ->Arg(16)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+void setup_tree(const benchmark::State& state) {
+  g_tree = std::make_unique<rt::DiffractingTree>(static_cast<std::uint32_t>(state.range(0)));
+}
 
 void BM_DiffractingTree(benchmark::State& state) {
-  if (state.thread_index() == 0) {
-    g_tree = std::make_unique<rt::DiffractingTree>(
-        static_cast<std::uint32_t>(state.range(0)));
-  }
   const auto tid = static_cast<std::uint32_t>(state.thread_index());
   for (auto _ : state) {
     benchmark::DoNotOptimize(g_tree->next(tid));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DiffractingTree)->Arg(32)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_DiffractingTree)
+    ->Setup(setup_tree)
+    ->Teardown(teardown_tree)
+    ->Arg(32)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Machine-readable runtime benchmark snapshot: runs the real-thread
+# throughput benches (compiled plan vs graph walk, batched vs single) and the
+# psim engine benches (timing wheel vs retired heap on the fig5-shaped mix),
+# merging both google-benchmark JSON reports into BENCH_rt.json at the repo
+# root. Pass a different output path as $1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_rt.json}"
+min_time="${BENCH_MIN_TIME:-0.1}"
+
+[ -x build/bench/throughput_rt ] || { echo "build first: cmake -B build && cmake --build build" >&2; exit 1; }
+
+tmp_rt=$(mktemp) tmp_psim=$(mktemp)
+trap 'rm -f "$tmp_rt" "$tmp_psim"' EXIT
+
+build/bench/throughput_rt \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json >"$tmp_rt"
+build/bench/engine_perf \
+  --benchmark_filter='Fig5Mix|PsimWorkload' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json >"$tmp_psim"
+
+# Merge: keep one context block, concatenate the benchmark arrays.
+python3 - "$tmp_rt" "$tmp_psim" "$out" <<'EOF'
+import json, sys
+rt, psim, out = sys.argv[1:4]
+with open(rt) as f: a = json.load(f)
+with open(psim) as f: b = json.load(f)
+a["benchmarks"].extend(b["benchmarks"])
+with open(out, "w") as f:
+    json.dump(a, f, indent=1)
+    f.write("\n")
+EOF
+echo "wrote $out ($(python3 -c "import json;print(len(json.load(open('$out'))['benchmarks']))") benchmarks)"

@@ -12,6 +12,7 @@ rt::CounterOptions options_for(const SharedCounter::Config& config) {
       config.mcs_balancers ? rt::BalancerMode::kMcsLocked : rt::BalancerMode::kFetchAdd;
   options.diffraction = config.diffraction && config.topology == Topology::kTree;
   options.max_threads = config.max_threads;
+  options.engine = config.engine;
   return options;
 }
 
@@ -53,6 +54,10 @@ SharedCounter::SharedCounter(const Config& config)
 
 std::uint64_t SharedCounter::next(std::uint32_t thread_id) {
   return counter_.next(thread_id, thread_id % counter_.network().input_width());
+}
+
+void SharedCounter::next_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) {
+  counter_.next_batch(thread_id, thread_id % counter_.network().input_width(), out);
 }
 
 }  // namespace cnet

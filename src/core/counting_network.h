@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "rt/network_counter.h"
@@ -69,6 +70,10 @@ class SharedCounter {
 
     /// Upper bound on concurrent caller ids.
     std::uint32_t max_threads = 256;
+
+    /// Run tokens through the compiled RoutingPlan (default) or the original
+    /// per-token graph walk (kept for cross-checking and benchmarking).
+    rt::ExecutionEngine engine = rt::ExecutionEngine::kCompiledPlan;
   };
 
   explicit SharedCounter(const Config& config);
@@ -76,6 +81,12 @@ class SharedCounter {
   /// Next counter value; thread-safe. `thread_id` must be unique among
   /// concurrent callers and < config.max_threads.
   std::uint64_t next(std::uint32_t thread_id);
+
+  /// Claims out.size() counter values at once, written in order. On the
+  /// compiled-plan engine this batches the contended output fetch_add; a
+  /// worker that stamps requests in blocks should prefer this. Values are
+  /// globally unique and, single-threaded, identical to repeated next().
+  void next_batch(std::uint32_t thread_id, std::span<std::uint64_t> out);
 
   const topo::Network& network() const { return counter_.network(); }
 

@@ -1,7 +1,14 @@
 #include "lin/checker.h"
 
+// IWYU: everything used directly, not via transitive includes of checker.h.
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <map>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/assert.h"
 

@@ -1,0 +1,77 @@
+// The original binary-heap event engine, retired from the hot path in favor
+// of the bucketed timing wheel in engine.h but kept verbatim as the ordering
+// ground truth: tests/psim_engine_wheel_test.cpp asserts the wheel replays
+// this engine's (cycle, seq) firing order bit-for-bit, and bench/engine_perf
+// races the two on the figure-5-shaped event mix.
+//
+// Identical contract to psim::Engine: single-threaded, fully deterministic,
+// events fire in (cycle, sequence) order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cnet::psim {
+
+using Cycle = std::uint64_t;
+
+class HeapEngine {
+ public:
+  Cycle now() const { return now_; }
+
+  /// Resume `h` at absolute cycle `at`.
+  void schedule(std::coroutine_handle<> h, Cycle at) {
+    CNET_CHECK_MSG(at >= now_, "cannot schedule into the simulated past");
+    queue_.push(Event{at, next_seq_++, h});
+  }
+
+  /// Run until no events remain (all processors finished or parked).
+  void run() {
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      ev.handle.resume();
+    }
+  }
+
+  std::uint64_t events_processed() const { return next_seq_; }
+
+  /// Awaitable: suspend the current processor for `dt` cycles. sleep(0)
+  /// continues immediately without touching the event queue.
+  auto sleep(Cycle dt) {
+    struct Awaiter {
+      HeapEngine& engine;
+      Cycle dt;
+      bool await_ready() const noexcept { return dt == 0; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine.schedule(h, engine.now_ + dt);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+ private:
+  struct Event {
+    Cycle at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+  struct After {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, After> queue_;
+};
+
+}  // namespace cnet::psim

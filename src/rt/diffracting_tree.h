@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "rt/network_counter.h"
 
@@ -18,6 +19,13 @@ class DiffractingTree {
   /// Returns the next counter value. `thread_id` must be unique among
   /// concurrent callers and < options.max_threads.
   std::uint64_t next(std::uint32_t thread_id) { return counter_.next(thread_id, 0); }
+
+  /// Claims out.size() values in one traversal batch (see
+  /// NetworkCounter::next_batch); cheaper than repeated next() when a caller
+  /// consumes ids in blocks.
+  void next_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) {
+    counter_.next_batch(thread_id, 0, out);
+  }
 
   std::uint32_t width() const { return counter_.network().output_width(); }
   const NetworkCounter& counter() const { return counter_; }

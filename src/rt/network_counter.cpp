@@ -10,13 +10,6 @@ namespace {
 
 constexpr std::uint64_t kPaired = 1ull << 32;
 
-/// Per-thread RNG for prism slot choice (no cross-thread state).
-Rng& local_rng() {
-  static std::atomic<std::uint64_t> counter{0x51ed270b0a1efULL};
-  thread_local Rng rng(counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
-  return rng;
-}
-
 }  // namespace
 
 struct NetworkCounter::NodeState {
@@ -33,6 +26,11 @@ struct NetworkCounter::NodeState {
 
 NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
     : net_(std::move(net)), options_(options) {
+  if (options_.engine == ExecutionEngine::kCompiledPlan) {
+    plan_ = std::make_unique<RoutingPlan>(net_, options_);
+    return;
+  }
+
   std::uint32_t auto_width = options_.prism_width;
   if (auto_width == 0) {
     const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
@@ -46,7 +44,7 @@ NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
     state.fan_out = node.fan_out;
     if (options_.diffraction && node.fan_in == 1 && node.fan_out == 2) {
       state.kind = NodeState::Kind::kPrism;
-      state.prism_width = std::max(2u, auto_width >> (node.layer - 1));
+      state.prism_width = prism_width_for_layer(auto_width, node.layer);
       state.prism_spin = options_.prism_spin;
       state.prism = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(state.prism_width);
     } else if (options_.mode == BalancerMode::kMcsLocked) {
@@ -64,6 +62,7 @@ std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t
                                           NodeHook after_node, void* ctx) {
   CNET_CHECK(input < net_.input_width());
   CNET_CHECK(thread_id < options_.max_threads);
+  if (plan_) return plan_->next_hooked(thread_id, input, after_node, ctx);
   topo::OutLink at = net_.inputs()[input];
   while (at.node != topo::kNoNode) {
     const std::uint32_t port = traverse_node(at.node, thread_id);
@@ -72,6 +71,17 @@ std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t
   }
   const std::uint64_t nth = outputs_[at.port]->fetch_add(1, std::memory_order_acq_rel);
   return at.port + nth * net_.output_width();
+}
+
+void NetworkCounter::next_batch(std::uint32_t thread_id, std::uint32_t input,
+                                std::span<std::uint64_t> out) {
+  CNET_CHECK(input < net_.input_width());
+  CNET_CHECK(thread_id < options_.max_threads);
+  if (plan_) {
+    plan_->next_batch(thread_id, input, out);
+    return;
+  }
+  for (std::uint64_t& value : out) value = next(thread_id, input);
 }
 
 std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_t thread_id) {
@@ -94,7 +104,7 @@ std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_
   // Prism balancer. Collision-race losses retry; an expired camping window
   // falls through to the toggle.
   const std::uint64_t my_id = thread_id + 1;
-  Rng& rng = local_rng();
+  Rng& rng = detail::prism_rng();
   for (int attempt = 0; attempt < 1;) {
     std::atomic<std::uint64_t>& slot = *state.prism[rng.below(state.prism_width)];
     std::uint64_t seen = slot.load(std::memory_order_acquire);
@@ -132,6 +142,7 @@ std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_
 }
 
 std::uint64_t NetworkCounter::issued() const {
+  if (plan_) return plan_->issued();
   std::uint64_t total = 0;
   for (std::uint32_t i = 0; i < net_.output_width(); ++i)
     total += outputs_[i]->load(std::memory_order_acquire);

@@ -15,6 +15,12 @@
 //
 // Output port Y_i hands out i, i+w, i+2w, ... via a per-output atomic.
 //
+// Execution engines: by default tokens run through a compiled rt::RoutingPlan
+// (flattened successor tables, per-kind dense balancer state, batched output
+// claims — see routing_plan.h). CounterOptions::engine selects the original
+// per-token graph walk instead, kept so the two executors stay cross-checkable
+// and benchmarkable side by side.
+//
 // Thread identity: callers pass a small dense `thread_id` (unique among
 // concurrent callers) used for prism pairing and the RNG streams. The
 // counter itself is otherwise oblivious to threads; MCS queue nodes live on
@@ -24,32 +30,16 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "rt/mcs_lock.h"
+#include "rt/routing_plan.h"
 #include "topo/network.h"
 #include "util/cacheline.h"
 #include "util/rng.h"
 
 namespace cnet::rt {
-
-enum class BalancerMode {
-  kFetchAdd,   ///< lock-free atomic balancers
-  kMcsLocked,  ///< balancers as MCS-protected critical sections (§5)
-};
-
-struct CounterOptions {
-  BalancerMode mode = BalancerMode::kFetchAdd;
-  /// Use prism diffraction on 1-in/2-out nodes.
-  bool diffraction = false;
-  /// Prism slots at the root balancer; halves per layer. 0 = auto (max
-  /// hardware concurrency / 8, clamped to [2, 8]).
-  std::uint32_t prism_width = 0;
-  /// Spin iterations a prism waiter camps before falling to the toggle.
-  std::uint32_t prism_spin = 128;
-  /// Maximum concurrent threads (bounds thread_id); used for prism ids.
-  std::uint32_t max_threads = 256;
-};
 
 class NetworkCounter {
  public:
@@ -69,11 +59,19 @@ class NetworkCounter {
 
   /// Called after each node traversal when instrumenting a token's walk
   /// (the delay harness injects the paper's W-cycle waits through this).
-  using NodeHook = void (*)(void* ctx);
+  using NodeHook = rt::NodeHook;
 
   /// As next(), invoking `after_node(ctx)` after every node traversal.
   std::uint64_t next_hooked(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
                             void* ctx);
+
+  /// Routes out.size() tokens entering at `input`, writing their counter
+  /// values in order. On the compiled-plan engine this amortizes entry
+  /// lookup and batches the per-output fetch_add (one RMW per distinct exit
+  /// port); on the graph walk it degenerates to repeated next(). Equivalent
+  /// to out.size() successive next() calls when single-threaded; values
+  /// always remain globally unique.
+  void next_batch(std::uint32_t thread_id, std::uint32_t input, std::span<std::uint64_t> out);
 
   /// Convenience for single-input networks (trees) or "any input" use:
   /// enters at input thread_id mod input_width.
@@ -82,6 +80,11 @@ class NetworkCounter {
   }
 
   const topo::Network& network() const { return net_; }
+
+  /// The engine tokens actually run through.
+  ExecutionEngine engine() const {
+    return plan_ ? ExecutionEngine::kCompiledPlan : ExecutionEngine::kGraphWalk;
+  }
 
   /// Tokens that exited so far (sum over outputs); linearizably exact only
   /// in quiescence.
@@ -94,6 +97,7 @@ class NetworkCounter {
 
   topo::Network net_;
   CounterOptions options_;
+  std::unique_ptr<RoutingPlan> plan_;  ///< set iff engine == kCompiledPlan
   std::unique_ptr<NodeState[]> nodes_;
   std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> outputs_;
 };

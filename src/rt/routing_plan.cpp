@@ -1,0 +1,268 @@
+#include "rt/routing_plan.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.h"
+#include "util/spin.h"
+
+namespace cnet::rt {
+namespace {
+
+constexpr std::uint64_t kPaired = 1ull << 32;
+
+/// Largest output width the batched path handles with stack-resident
+/// histograms; wider networks (none of the library builders) fall back to
+/// per-token output fetch_add.
+constexpr std::uint32_t kMaxBatchedWidth = 256;
+
+}  // namespace
+
+namespace detail {
+
+Rng& prism_rng() {
+  static std::atomic<std::uint64_t> counter{0x51ed270b0a1efULL};
+  thread_local Rng rng(counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+  return rng;
+}
+
+}  // namespace detail
+
+RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options)
+    : input_width_(net.input_width()), output_width_(net.output_width()) {
+  std::uint32_t auto_width = options.prism_width;
+  if (auto_width == 0) {
+    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    auto_width = std::min(8u, std::max(2u, hw / 8));
+  }
+
+  const auto n_nodes = static_cast<std::uint32_t>(net.node_count());
+  kind_.resize(n_nodes);
+  fan_out_.resize(n_nodes);
+  state_idx_.resize(n_nodes);
+  succ_offset_.resize(n_nodes);
+
+  // Pass 1: classify nodes and assign dense per-kind state slots.
+  std::uint32_t n_toggles = 0, n_mcs = 0, n_prisms = 0, n_slots = 0;
+  for (topo::NodeId id = 0; id < n_nodes; ++id) {
+    const topo::Node& node = net.node(id);
+    fan_out_[id] = node.fan_out;
+    if (node.is_pass_through()) {
+      kind_[id] = Kind::kPass;
+      state_idx_[id] = 0;
+    } else if (options.diffraction && node.fan_in == 1 && node.fan_out == 2) {
+      kind_[id] = Kind::kPrism;
+      state_idx_[id] = n_prisms++;
+      n_slots += prism_width_for_layer(auto_width, node.layer);
+    } else if (options.mode == BalancerMode::kMcsLocked) {
+      kind_[id] = Kind::kMcs;
+      state_idx_[id] = n_mcs++;
+    } else {
+      kind_[id] = Kind::kToggle;
+      state_idx_[id] = n_toggles++;
+    }
+  }
+  if (n_toggles != 0) toggles_ = std::make_unique<ToggleState[]>(n_toggles);
+  if (n_mcs != 0) mcs_ = std::make_unique<McsState[]>(n_mcs);
+  if (n_prisms != 0) {
+    prisms_ = std::make_unique<PrismState[]>(n_prisms);
+    prism_slots_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(n_slots);
+  }
+
+  // Pass 2: flatten the wiring into the packed successor table and fill the
+  // prism descriptors.
+  std::uint32_t slot_cursor = 0;
+  for (topo::NodeId id = 0; id < n_nodes; ++id) {
+    const topo::Node& node = net.node(id);
+    succ_offset_[id] = static_cast<std::uint32_t>(succ_.size());
+    for (const topo::OutLink& link : node.out) {
+      succ_.push_back(link.node == topo::kNoNode ? (kOutputBit | link.port) : link.node);
+    }
+    if (kind_[id] == Kind::kPrism) {
+      PrismState& prism = prisms_[state_idx_[id]];
+      prism.slot_offset = slot_cursor;
+      prism.width = prism_width_for_layer(auto_width, node.layer);
+      prism.spin = options.prism_spin;
+      slot_cursor += prism.width;
+    }
+  }
+  entry_.reserve(net.inputs().size());
+  for (const topo::OutLink& link : net.inputs()) {
+    entry_.push_back(link.node == topo::kNoNode ? (kOutputBit | link.port) : link.node);
+  }
+
+  // Pass 3: resolve pass-through chains out of the un-hooked hot path. A
+  // pass node routes every token to its single successor, so collapsing the
+  // chain is invisible to routing (only the per-node hook can tell).
+  auto resolve = [&](std::uint32_t hop) {
+    while ((hop & kOutputBit) == 0 && kind_[hop] == Kind::kPass) {
+      hop = succ_[succ_offset_[hop]];
+    }
+    return hop;
+  };
+  succ_fast_.reserve(succ_.size());
+  for (const std::uint32_t hop : succ_) succ_fast_.push_back(resolve(hop));
+  entry_fast_.reserve(entry_.size());
+  for (const std::uint32_t hop : entry_) entry_fast_.push_back(resolve(hop));
+
+  // Homogeneity profile: with only fan-out-2 toggles left on the fast path,
+  // state_idx_ == a dense renumbering and the switch can be hoisted.
+  homogeneous_toggle_fan2_ = true;
+  for (topo::NodeId id = 0; id < n_nodes; ++id) {
+    if (kind_[id] == Kind::kPass) continue;
+    if (kind_[id] != Kind::kToggle || fan_out_[id] != 2) {
+      homogeneous_toggle_fan2_ = false;
+      break;
+    }
+  }
+
+  outputs_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(output_width_);
+}
+
+RoutingPlan::~RoutingPlan() = default;
+
+std::uint32_t RoutingPlan::traverse(std::uint32_t node, std::uint32_t thread_id) {
+  switch (kind_[node]) {
+    case Kind::kPass:
+      return 0;
+    case Kind::kToggle: {
+      const std::uint64_t t =
+          toggles_[state_idx_[node]].count.fetch_add(1, std::memory_order_acq_rel);
+      return static_cast<std::uint32_t>(t % fan_out_[node]);
+    }
+    case Kind::kMcs: {
+      McsState& state = mcs_[state_idx_[node]];
+      McsLock::Guard guard(state.lock);
+      const std::uint64_t t = state.count.load(std::memory_order_relaxed);
+      state.count.store(t + 1, std::memory_order_relaxed);
+      return static_cast<std::uint32_t>(t % fan_out_[node]);
+    }
+    case Kind::kPrism:
+      return traverse_prism(prisms_[state_idx_[node]], thread_id);
+  }
+  CNET_CHECK_MSG(false, "unreachable");
+}
+
+std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t thread_id) {
+  // Same protocol as the graph walk: collision-race losses retry; an expired
+  // camping window falls through to the toggle.
+  const std::uint64_t my_id = thread_id + 1;
+  Rng& rng = detail::prism_rng();
+  for (int attempt = 0; attempt < 1;) {
+    std::atomic<std::uint64_t>& slot =
+        *prism_slots_[state.slot_offset + rng.below(state.width)];
+    std::uint64_t seen = slot.load(std::memory_order_acquire);
+    if (seen == 0) {
+      std::uint64_t expected = 0;
+      if (!slot.compare_exchange_strong(expected, my_id, std::memory_order_acq_rel)) continue;
+      for (std::uint32_t i = 0; i < state.spin; ++i) {
+        if (slot.load(std::memory_order_acquire) == (my_id | kPaired)) {
+          slot.store(0, std::memory_order_release);
+          return 0;
+        }
+        cpu_relax();
+      }
+      expected = my_id;
+      if (!slot.compare_exchange_strong(expected, 0, std::memory_order_acq_rel)) {
+        // A partner paired concurrently with our retraction.
+        SpinWaiter waiter;
+        while (slot.load(std::memory_order_acquire) != (my_id | kPaired)) waiter.wait();
+        slot.store(0, std::memory_order_release);
+        return 0;
+      }
+      ++attempt;  // camping window expired
+      continue;
+    }
+    if ((seen & kPaired) == 0) {
+      if (slot.compare_exchange_strong(seen, seen | kPaired, std::memory_order_acq_rel)) {
+        return 1;
+      }
+    }
+  }
+
+  const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
+  return static_cast<std::uint32_t>(t & 1);
+}
+
+std::uint32_t RoutingPlan::route(std::uint32_t thread_id, std::uint32_t input,
+                                 NodeHook after_node, void* ctx) {
+  if (after_node == nullptr) {
+    std::uint32_t hop = entry_fast_[input];
+    if (homogeneous_toggle_fan2_) {
+      // Hoisted loop: every node is a fetch-add toggle with two outputs.
+      while ((hop & kOutputBit) == 0) {
+        const std::uint64_t t =
+            toggles_[state_idx_[hop]].count.fetch_add(1, std::memory_order_acq_rel);
+        hop = succ_fast_[succ_offset_[hop] + (t & 1)];
+      }
+      return hop & ~kOutputBit;
+    }
+    while ((hop & kOutputBit) == 0) {
+      const std::uint32_t port = traverse(hop, thread_id);
+      hop = succ_fast_[succ_offset_[hop] + port];
+    }
+    return hop & ~kOutputBit;
+  }
+  std::uint32_t hop = entry_[input];
+  while ((hop & kOutputBit) == 0) {
+    const std::uint32_t port = traverse(hop, thread_id);
+    after_node(ctx);
+    hop = succ_[succ_offset_[hop] + port];
+  }
+  return hop & ~kOutputBit;
+}
+
+std::uint64_t RoutingPlan::next_hooked(std::uint32_t thread_id, std::uint32_t input,
+                                       NodeHook after_node, void* ctx) {
+  CNET_CHECK(input < input_width_);
+  const std::uint32_t port = route(thread_id, input, after_node, ctx);
+  const std::uint64_t nth = outputs_[port]->fetch_add(1, std::memory_order_acq_rel);
+  return port + nth * output_width_;
+}
+
+void RoutingPlan::next_batch_hooked(std::uint32_t thread_id, std::uint32_t input,
+                                    std::span<std::uint64_t> out, NodeHook after_node,
+                                    void* ctx) {
+  CNET_CHECK(input < input_width_);
+  if (out.empty()) return;
+  const std::uint32_t w = output_width_;
+  if (w > kMaxBatchedWidth) {
+    for (std::uint64_t& value : out) {
+      const std::uint32_t port = route(thread_id, input, after_node, ctx);
+      const std::uint64_t nth = outputs_[port]->fetch_add(1, std::memory_order_acq_rel);
+      value = port + nth * w;
+    }
+    return;
+  }
+
+  // Route the whole batch first (out[i] temporarily holds the exit port),
+  // then claim one contiguous block per exit port with a single fetch_add
+  // and expand values locally: the i-th batch token on port p gets
+  // p + (nth + i) * w, exactly what i separate RMWs would have produced.
+  std::uint32_t port_count[kMaxBatchedWidth];
+  std::uint64_t port_next[kMaxBatchedWidth];
+  for (std::uint32_t p = 0; p < w; ++p) port_count[p] = 0;
+  for (std::uint64_t& value : out) {
+    const std::uint32_t port = route(thread_id, input, after_node, ctx);
+    value = port;
+    ++port_count[port];
+  }
+  for (std::uint32_t p = 0; p < w; ++p) {
+    if (port_count[p] != 0) {
+      port_next[p] = outputs_[p]->fetch_add(port_count[p], std::memory_order_acq_rel);
+    }
+  }
+  for (std::uint64_t& value : out) {
+    const auto port = static_cast<std::uint32_t>(value);
+    value = port + port_next[port]++ * w;
+  }
+}
+
+std::uint64_t RoutingPlan::issued() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < output_width_; ++i)
+    total += outputs_[i]->load(std::memory_order_acquire);
+  return total;
+}
+
+}  // namespace cnet::rt

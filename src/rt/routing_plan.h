@@ -1,0 +1,182 @@
+// Compiled execution plans for topo::Network on real threads.
+//
+// The graph-walk executor in rt::NetworkCounter chases Node/OutLink pointers
+// through std::vector<Node> on every token — three dependent loads per layer
+// before the balancer atomic is even touched. A RoutingPlan flattens the
+// network once, at construction, into contiguous structure-of-arrays form:
+//
+//   * one successor table `succ_[succ_offset_[n] + port]` holding the packed
+//     next hop (node index, or kOutputBit | output port) — a single load per
+//     layer;
+//   * per-node balancer state split *by kind* into dense, cache-line-aligned
+//     arrays (fetch-add toggles, MCS-locked counts, prism descriptors), so a
+//     token touches exactly one contended line per node and no unique_ptr
+//     indirection;
+//   * pass-through (1-in/1-out, Cor 3.12 padding) nodes compiled away on the
+//     un-hooked hot path: `entry_fast_`/`succ_fast_` pre-resolve pass chains,
+//     which routing cannot observe (a pass node's port is always 0);
+//   * a homogeneity profile: when every balancer is a fetch-add toggle with
+//     fan-out 2 (bitonic, periodic, padded networks — the common production
+//     configurations), traversal runs a specialized loop with the kind switch
+//     hoisted out entirely and `% fan_out` strength-reduced to `& 1`.
+//
+// next_batch() amortizes the per-token fixed costs across a caller-supplied
+// span: one entry lookup, one hook test, and — the contended part — *one*
+// fetch_add(k) per distinct exit port instead of k separate RMWs, expanded
+// locally to port + (nth+i)*w. Values are identical to k successive next()
+// calls in the single-threaded case and remain a permutation of 0..n-1 under
+// concurrency (per-port blocks are disjoint).
+//
+// The plan preserves the graph walk's routing decisions token-for-token: the
+// same balancer kinds, the same toggle arithmetic, the same prism protocol
+// (tests/rt_routing_plan_test.cpp cross-checks the two executors).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rt/mcs_lock.h"
+#include "topo/network.h"
+#include "util/cacheline.h"
+#include "util/rng.h"
+
+namespace cnet::rt {
+
+enum class BalancerMode {
+  kFetchAdd,   ///< lock-free atomic balancers
+  kMcsLocked,  ///< balancers as MCS-protected critical sections (§5)
+};
+
+/// Which executor NetworkCounter runs tokens through.
+enum class ExecutionEngine {
+  kCompiledPlan,  ///< RoutingPlan: flattened SoA arrays + batched hot path
+  kGraphWalk,     ///< the original per-token topo::Network graph walk
+};
+
+struct CounterOptions {
+  BalancerMode mode = BalancerMode::kFetchAdd;
+  /// Use prism diffraction on 1-in/2-out nodes.
+  bool diffraction = false;
+  /// Prism slots at the root balancer; halves per layer. 0 = auto (max
+  /// hardware concurrency / 8, clamped to [2, 8]).
+  std::uint32_t prism_width = 0;
+  /// Spin iterations a prism waiter camps before falling to the toggle.
+  std::uint32_t prism_spin = 128;
+  /// Maximum concurrent threads (bounds thread_id); used for prism ids.
+  std::uint32_t max_threads = 256;
+  /// Executor selection; the graph walk is kept for cross-checking and
+  /// benchmarking against the compiled plan.
+  ExecutionEngine engine = ExecutionEngine::kCompiledPlan;
+};
+
+/// Called after each node traversal when instrumenting a token's walk (the
+/// delay harness injects the paper's W-cycle waits through this).
+using NodeHook = void (*)(void* ctx);
+
+/// Prism slot width for a node at 1-based layer `layer` given the root
+/// width: halves per layer, floors at 2. Layer 0 (a node a builder left
+/// unlayered) is treated as layer 1 rather than shifting by (0u - 1).
+inline std::uint32_t prism_width_for_layer(std::uint32_t root_width, std::uint32_t layer) {
+  const std::uint32_t shift = layer >= 1 ? layer - 1 : 0;
+  const std::uint32_t halved = shift >= 32 ? 0 : root_width >> shift;
+  return halved < 2 ? 2u : halved;
+}
+
+namespace detail {
+/// Per-thread RNG for prism slot choice (no cross-thread state); shared by
+/// both executors so they draw identical slot sequences.
+Rng& prism_rng();
+}  // namespace detail
+
+class RoutingPlan {
+ public:
+  /// Compiles `net` (copied; the plan is self-contained) for the given
+  /// options. `options.engine` is ignored — a plan *is* the compiled engine.
+  explicit RoutingPlan(const topo::Network& net, const CounterOptions& options = {});
+  ~RoutingPlan();
+
+  RoutingPlan(const RoutingPlan&) = delete;
+  RoutingPlan& operator=(const RoutingPlan&) = delete;
+
+  /// Routes one token entering at `input`; returns the counter value.
+  std::uint64_t next(std::uint32_t thread_id, std::uint32_t input) {
+    return next_hooked(thread_id, input, nullptr, nullptr);
+  }
+
+  /// As next(), invoking `after_node(ctx)` after every node traversal
+  /// (including pass-through padding nodes, which the un-hooked path skips).
+  std::uint64_t next_hooked(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
+                            void* ctx);
+
+  /// Routes out.size() tokens, writing their counter values in order.
+  /// Equivalent to out.size() successive next() calls, but amortizes entry
+  /// lookup and batches the output-counter fetch_add per exit port.
+  void next_batch(std::uint32_t thread_id, std::uint32_t input, std::span<std::uint64_t> out) {
+    next_batch_hooked(thread_id, input, out, nullptr, nullptr);
+  }
+
+  void next_batch_hooked(std::uint32_t thread_id, std::uint32_t input,
+                         std::span<std::uint64_t> out, NodeHook after_node, void* ctx);
+
+  std::uint32_t input_width() const { return input_width_; }
+  std::uint32_t output_width() const { return output_width_; }
+
+  /// Tokens that exited so far (sum over outputs); linearizably exact only
+  /// in quiescence.
+  std::uint64_t issued() const;
+
+  /// True when traversal runs the hoisted homogeneous fetch-add/fan-out-2
+  /// loop (exposed for tests and bench labels).
+  bool homogeneous_toggle_fan2() const { return homogeneous_toggle_fan2_; }
+
+ private:
+  enum class Kind : std::uint8_t { kToggle, kMcs, kPrism, kPass };
+
+  struct alignas(kCacheLine) ToggleState {
+    std::atomic<std::uint64_t> count{0};
+  };
+  struct alignas(kCacheLine) McsState {
+    McsLock lock;
+    std::atomic<std::uint64_t> count{0};
+  };
+  struct alignas(kCacheLine) PrismState {
+    std::atomic<std::uint64_t> count{0};  ///< fall-back toggle
+    std::uint32_t slot_offset = 0;        ///< into prism_slots_
+    std::uint32_t width = 0;
+    std::uint32_t spin = 0;
+  };
+
+  /// Packed hop: node index, or kOutputBit | network output port.
+  static constexpr std::uint32_t kOutputBit = 0x80000000u;
+
+  std::uint32_t traverse(std::uint32_t node, std::uint32_t thread_id);
+  std::uint32_t traverse_prism(PrismState& state, std::uint32_t thread_id);
+  std::uint32_t route(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
+                      void* ctx);
+
+  std::uint32_t input_width_ = 0;
+  std::uint32_t output_width_ = 0;
+  bool homogeneous_toggle_fan2_ = false;
+
+  // --- compiled topology (immutable after construction) -----------------
+  std::vector<Kind> kind_;                 ///< per node
+  std::vector<std::uint32_t> fan_out_;     ///< per node
+  std::vector<std::uint32_t> state_idx_;   ///< per node, into its kind's array
+  std::vector<std::uint32_t> succ_offset_; ///< per node, into succ_
+  std::vector<std::uint32_t> succ_;        ///< packed hops, grouped by node
+  std::vector<std::uint32_t> entry_;       ///< per network input
+  std::vector<std::uint32_t> succ_fast_;   ///< succ_ with pass chains resolved
+  std::vector<std::uint32_t> entry_fast_;  ///< entry_ with pass chains resolved
+
+  // --- balancer state, dense per kind ------------------------------------
+  std::unique_ptr<ToggleState[]> toggles_;
+  std::unique_ptr<McsState[]> mcs_;
+  std::unique_ptr<PrismState[]> prisms_;
+  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> prism_slots_;
+  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> outputs_;
+};
+
+}  // namespace cnet::rt

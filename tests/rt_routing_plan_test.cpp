@@ -1,0 +1,230 @@
+// Cross-checks the compiled RoutingPlan executor against the original
+// graph-walk executor: same options, same topology, token-for-token equal
+// routing single-threaded; identical invariants (counting correctness, step
+// property) under multi-thread stress; batch == repeated single tokens.
+#include "rt/routing_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/network_counter.h"
+#include "topo/builders.h"
+
+namespace cnet::rt {
+namespace {
+
+CounterOptions with_engine(CounterOptions options, ExecutionEngine engine) {
+  options.engine = engine;
+  return options;
+}
+
+struct TopologyCase {
+  const char* name;
+  topo::Network (*make)();
+  CounterOptions options;
+};
+
+CounterOptions tree_options() {
+  CounterOptions options;
+  options.diffraction = true;
+  options.prism_spin = 4;  // keep the single-thread fall-to-toggle path fast
+  return options;
+}
+
+CounterOptions mcs_options() {
+  CounterOptions options;
+  options.mode = BalancerMode::kMcsLocked;
+  return options;
+}
+
+std::vector<TopologyCase> cases() {
+  return {
+      {"bitonic16", [] { return topo::make_bitonic(16); }, CounterOptions{}},
+      {"bitonic8_mcs", [] { return topo::make_bitonic(8); }, mcs_options()},
+      {"periodic8", [] { return topo::make_periodic(8); }, CounterOptions{}},
+      {"tree16_diffracting", [] { return topo::make_counting_tree(16); }, tree_options()},
+      {"padded_bitonic8", [] { return topo::make_padded(topo::make_bitonic(8), 6); },
+       CounterOptions{}},
+  };
+}
+
+TEST(RoutingPlanCrossCheck, SingleThreadTokenForToken) {
+  for (const TopologyCase& tc : cases()) {
+    SCOPED_TRACE(tc.name);
+    NetworkCounter plan(tc.make(), with_engine(tc.options, ExecutionEngine::kCompiledPlan));
+    NetworkCounter walk(tc.make(), with_engine(tc.options, ExecutionEngine::kGraphWalk));
+    ASSERT_EQ(plan.engine(), ExecutionEngine::kCompiledPlan);
+    ASSERT_EQ(walk.engine(), ExecutionEngine::kGraphWalk);
+    const std::uint32_t v = plan.network().input_width();
+    for (std::uint32_t i = 0; i < 512; ++i) {
+      const std::uint32_t input = (i * 7) % v;
+      ASSERT_EQ(plan.next(0, input), walk.next(0, input)) << "token " << i;
+    }
+    EXPECT_EQ(plan.issued(), walk.issued());
+  }
+}
+
+/// The per-node hook must fire the same number of times on both executors —
+/// in particular the plan may NOT compile pass-through padding nodes away
+/// when a hook (the delay harness's W-wait) is attached.
+TEST(RoutingPlanCrossCheck, HookedWalkVisitsEveryNode) {
+  const auto count_hook = [](void* ctx) { ++*static_cast<std::uint64_t*>(ctx); };
+  for (const TopologyCase& tc : cases()) {
+    SCOPED_TRACE(tc.name);
+    NetworkCounter plan(tc.make(), with_engine(tc.options, ExecutionEngine::kCompiledPlan));
+    NetworkCounter walk(tc.make(), with_engine(tc.options, ExecutionEngine::kGraphWalk));
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      std::uint64_t plan_nodes = 0, walk_nodes = 0;
+      const std::uint32_t input = i % plan.network().input_width();
+      ASSERT_EQ(plan.next_hooked(0, input, count_hook, &plan_nodes),
+                walk.next_hooked(0, input, count_hook, &walk_nodes));
+      EXPECT_EQ(plan_nodes, walk_nodes) << "token " << i;
+      EXPECT_GT(plan_nodes, 0u);
+    }
+  }
+}
+
+TEST(RoutingPlan, BatchMatchesSingleTokensSingleThreaded) {
+  for (const TopologyCase& tc : cases()) {
+    SCOPED_TRACE(tc.name);
+    NetworkCounter batched(tc.make(), with_engine(tc.options, ExecutionEngine::kCompiledPlan));
+    NetworkCounter singles(tc.make(), with_engine(tc.options, ExecutionEngine::kCompiledPlan));
+    std::vector<std::uint64_t> from_batches;
+    std::vector<std::uint64_t> from_singles;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{16},
+                                    std::size_t{64}, std::size_t{5}}) {
+      std::vector<std::uint64_t> chunk(batch);
+      batched.next_batch(0, 0, chunk);
+      from_batches.insert(from_batches.end(), chunk.begin(), chunk.end());
+      for (std::size_t i = 0; i < batch; ++i) from_singles.push_back(singles.next(0, 0));
+    }
+    EXPECT_EQ(from_batches, from_singles);
+  }
+}
+
+std::vector<std::uint64_t> hammer(NetworkCounter& counter, unsigned n_threads, int per_thread,
+                                  std::size_t batch) {
+  std::vector<std::vector<std::uint64_t>> values(n_threads);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] {
+        const std::uint32_t input = t % counter.network().input_width();
+        values[t].resize(static_cast<std::size_t>(per_thread));
+        std::span<std::uint64_t> mine(values[t]);
+        while (!mine.empty()) {
+          const std::size_t n = std::min(batch, mine.size());
+          counter.next_batch(t, input, mine.first(n));
+          mine = mine.subspan(n);
+        }
+      });
+    }
+  }
+  std::vector<std::uint64_t> all;
+  for (auto& v : values) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+void expect_range_and_step(std::vector<std::uint64_t> values, std::uint32_t width) {
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(values[i], i) << "at rank " << i;
+  }
+  // Quiescent per-port exit counts (value % width) must form a step.
+  std::vector<std::uint64_t> per_port(width, 0);
+  for (std::uint64_t v = 0; v < values.size(); ++v) ++per_port[v % width];
+  for (std::uint32_t i = 0; i + 1 < width; ++i) {
+    const std::uint64_t diff = per_port[i] - per_port[i + 1];
+    ASSERT_LE(diff, 1u) << "step property broken between ports " << i << " and " << i + 1;
+  }
+}
+
+TEST(RoutingPlan, ConcurrentMixedBatchesFormRangeWithStepProperty) {
+  const unsigned n_threads = std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  for (const TopologyCase& tc : cases()) {
+    SCOPED_TRACE(tc.name);
+    NetworkCounter counter(tc.make(), with_engine(tc.options, ExecutionEngine::kCompiledPlan));
+    const auto values = hammer(counter, n_threads, 6000, 17);
+    expect_range_and_step(values, counter.network().output_width());
+    EXPECT_EQ(counter.issued(), values.size());
+  }
+}
+
+TEST(RoutingPlan, HomogeneousProfileDetection) {
+  EXPECT_TRUE(RoutingPlan(topo::make_bitonic(32)).homogeneous_toggle_fan2());
+  EXPECT_TRUE(RoutingPlan(topo::make_periodic(16)).homogeneous_toggle_fan2());
+  // Pass-through padding is compiled away, so padded bitonic stays hoisted.
+  EXPECT_TRUE(
+      RoutingPlan(topo::make_padded(topo::make_bitonic(8), 10)).homogeneous_toggle_fan2());
+  EXPECT_FALSE(
+      RoutingPlan(topo::make_counting_tree(8), tree_options()).homogeneous_toggle_fan2());
+  EXPECT_FALSE(
+      RoutingPlan(topo::make_bitonic(8), mcs_options()).homogeneous_toggle_fan2());
+}
+
+TEST(RoutingPlan, DirectUseMatchesCounterFacade) {
+  RoutingPlan plan(topo::make_bitonic(8));
+  EXPECT_EQ(plan.input_width(), 8u);
+  EXPECT_EQ(plan.output_width(), 8u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(plan.next(0, 0), i);
+  EXPECT_EQ(plan.issued(), 100u);
+}
+
+// --- prism width derivation (layer-0 underflow guard) --------------------
+
+TEST(PrismWidth, LayerDerivationNeverUnderflows) {
+  // Layer 0 (an unlayered node) must behave like layer 1, not shift by
+  // (0u - 1) == 0xffffffff.
+  EXPECT_EQ(prism_width_for_layer(8, 0), 8u);
+  EXPECT_EQ(prism_width_for_layer(8, 1), 8u);
+  EXPECT_EQ(prism_width_for_layer(8, 2), 4u);
+  EXPECT_EQ(prism_width_for_layer(8, 3), 2u);
+  EXPECT_EQ(prism_width_for_layer(8, 4), 2u);   // floors at 2
+  EXPECT_EQ(prism_width_for_layer(8, 64), 2u);  // huge layer: shift saturates
+  EXPECT_EQ(prism_width_for_layer(2, 0), 2u);
+}
+
+/// A single 1-in/2-out balancer (the smallest diffracting topology — its one
+/// prism node is the root) counts correctly on both executors.
+TEST(PrismWidth, SingleBalancerDiffractingTopology) {
+  for (const ExecutionEngine engine :
+       {ExecutionEngine::kCompiledPlan, ExecutionEngine::kGraphWalk}) {
+    SCOPED_TRACE(engine == ExecutionEngine::kCompiledPlan ? "plan" : "graph-walk");
+    CounterOptions options = tree_options();
+    options.engine = engine;
+    NetworkCounter counter(topo::make_kary_tree(2, 1), options);
+    ASSERT_EQ(counter.network().output_width(), 2u);
+    for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(counter.next(0, 0), i);
+
+    const unsigned n_threads = std::min(4u, std::max(2u, std::thread::hardware_concurrency()));
+    std::vector<std::vector<std::uint64_t>> values(n_threads);
+    {
+      std::vector<std::jthread> threads;
+      for (unsigned t = 0; t < n_threads; ++t) {
+        threads.emplace_back([&, t] {
+          for (int i = 0; i < 2000; ++i) values[t].push_back(counter.next(t, 0));
+        });
+      }
+    }
+    std::vector<std::uint64_t> all;
+    for (auto& v : values) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    for (std::uint64_t i = 0; i < all.size(); ++i) {
+      ASSERT_EQ(all[i], i + 50) << "at rank " << i;
+    }
+  }
+}
+
+TEST(RoutingPlanDeath, BadInput) {
+  RoutingPlan plan(topo::make_bitonic(8));
+  EXPECT_DEATH(plan.next(0, 8), "");
+}
+
+}  // namespace
+}  // namespace cnet::rt

@@ -11,12 +11,21 @@
 //       random execution in the paper's timing model + Def 2.4 analysis
 //   cnet_cli workload <bitonic|tree> <n> <F%> <W> [ops] [seed]
 //       the paper's §5 experiment on the simulated multiprocessor
+//   cnet_cli count <bitonic|periodic|tree> <width> <threads> <ops> [batch] [plan|walk]
+//       real-thread throughput of the shared counter (compiled routing plan
+//       by default; 'walk' selects the per-token graph walk for comparison)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/counting_network.h"
 #include "psim/machine.h"
 #include "sim/exhaustive.h"
 #include "sim/scenarios.h"
@@ -40,7 +49,9 @@ int usage() {
                "  cnet_cli simulate <bitonic|periodic|tree> <width> <tokens> <c2/c1> [seed]\n"
                "  cnet_cli workload <bitonic|tree> <n> <F%%> <W> [ops] [seed]\n"
                "  cnet_cli exhaustive <bitonic|periodic|tree> <width> <tokens> <c2/c1>"
-               " [slots] [step]\n");
+               " [slots] [step]\n"
+               "  cnet_cli count    <bitonic|periodic|tree> <width> <threads> <ops>"
+               " [batch] [plan|walk]\n");
   return 2;
 }
 
@@ -169,6 +180,74 @@ int cmd_exhaustive(const std::string& kind, std::uint32_t width, std::uint32_t t
   return 1;
 }
 
+int cmd_count(const std::string& kind, std::uint32_t width, unsigned threads, std::uint64_t ops,
+              std::size_t batch, const std::string& engine_name) {
+  SharedCounter::Config config;
+  if (kind == "bitonic") {
+    config.topology = Topology::kBitonic;
+  } else if (kind == "periodic") {
+    config.topology = Topology::kPeriodic;
+  } else if (kind == "tree") {
+    config.topology = Topology::kTree;
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", kind.c_str());
+    return 2;
+  }
+  if (engine_name != "plan" && engine_name != "walk") {
+    std::fprintf(stderr, "unknown engine '%s' (expected 'plan' or 'walk')\n",
+                 engine_name.c_str());
+    return 2;
+  }
+  threads = std::max(threads, 1u);
+  batch = std::max<std::size_t>(batch, 1);
+  config.width = width;
+  config.max_threads = threads;
+  const bool plan = engine_name == "plan";
+  config.engine = plan ? rt::ExecutionEngine::kCompiledPlan : rt::ExecutionEngine::kGraphWalk;
+  SharedCounter counter(config);
+
+  const std::uint64_t per_thread = ops / threads;
+  std::vector<std::vector<std::uint64_t>> values(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        values[t].resize(per_thread);
+        std::span<std::uint64_t> mine(values[t]);
+        while (!mine.empty()) {
+          const std::size_t n = std::min(batch, mine.size());
+          counter.next_batch(t, mine.first(n));
+          mine = mine.subspan(n);
+        }
+      });
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<std::uint64_t> all;
+  all.reserve(per_thread * threads);
+  for (auto& v : values) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < all.size(); ++i) {
+    if (all[i] != i) {
+      std::printf("FAIL: values do not form 0..%zu (rank %llu holds %llu)\n", all.size() - 1,
+                  static_cast<unsigned long long>(i), static_cast<unsigned long long>(all[i]));
+      return 1;
+    }
+  }
+  std::printf("%s, %u threads x %llu ops, batch %zu, engine %s\n",
+              counter.network().name().c_str(), threads,
+              static_cast<unsigned long long>(per_thread), batch,
+              plan ? "compiled-plan" : "graph-walk");
+  std::printf("  values 0..%zu: all present exactly once\n", all.size() - 1);
+  std::printf("  wall time : %.3f s\n", secs);
+  std::printf("  throughput: %.2f M items/s\n",
+              static_cast<double>(all.size()) / secs / 1e6);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +276,13 @@ int main(int argc, char** argv) {
                           static_cast<std::uint32_t>(std::atoi(argv[4])), std::atof(argv[5]),
                           argc > 6 ? static_cast<std::uint32_t>(std::atoi(argv[6])) : 8,
                           argc > 7 ? std::atof(argv[7]) : 0.5);
+  }
+  if (command == "count" && argc >= 6) {
+    return cmd_count(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                     static_cast<unsigned>(std::atoi(argv[4])),
+                     std::strtoull(argv[5], nullptr, 10),
+                     argc > 6 ? static_cast<std::size_t>(std::atoi(argv[6])) : 16,
+                     argc > 7 ? argv[7] : "plan");
   }
   if (command == "workload" && argc >= 6) {
     return cmd_workload(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
