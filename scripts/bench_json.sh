@@ -3,11 +3,14 @@
 # throughput benches (compiled plan vs graph walk, batched vs single) and the
 # psim engine benches (timing wheel vs retired heap on the fig5-shaped mix),
 # merging both google-benchmark JSON reports into BENCH_rt.json at the repo
-# root. Pass a different output path as $1.
+# root, and the observability-overhead benches (metrics off / sampled /
+# full / traced; see docs/OBSERVABILITY.md) into BENCH_obs.json. Pass
+# different output paths as $1 and $2.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_rt.json}"
+obs_out="${2:-BENCH_obs.json}"
 min_time="${BENCH_MIN_TIME:-0.1}"
 
 [ -x build/bench/throughput_rt ] || { echo "build first: cmake -B build && cmake --build build" >&2; exit 1; }
@@ -35,3 +38,8 @@ with open(out, "w") as f:
     f.write("\n")
 EOF
 echo "wrote $out ($(python3 -c "import json;print(len(json.load(open('$out'))['benchmarks']))") benchmarks)"
+
+build/bench/obs_overhead \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json >"$obs_out"
+echo "wrote $obs_out ($(python3 -c "import json;print(len(json.load(open('$obs_out'))['benchmarks']))") benchmarks)"

@@ -13,6 +13,7 @@ rt::CounterOptions options_for(const SharedCounter::Config& config) {
   options.diffraction = config.diffraction && config.topology == Topology::kTree;
   options.max_threads = config.max_threads;
   options.engine = config.engine;
+  options.metrics = config.metrics;
   return options;
 }
 

@@ -74,6 +74,11 @@ class SharedCounter {
     /// Run tokens through the compiled RoutingPlan (default) or the original
     /// per-token graph walk (kept for cross-checking and benchmarking).
     rt::ExecutionEngine engine = rt::ExecutionEngine::kCompiledPlan;
+
+    /// Observability sink (borrowed; may be null — the default — for zero
+    /// instrumentation cost). See obs/backend_metrics.h and
+    /// docs/OBSERVABILITY.md for the recorded metrics.
+    obs::CounterMetrics* metrics = nullptr;
   };
 
   explicit SharedCounter(const Config& config);

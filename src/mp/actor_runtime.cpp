@@ -38,14 +38,23 @@ void ActorRuntime::send(ActorId to, const Message& message) {
   CNET_CHECK(to < actors_.size());
   Actor& actor = *actors_[to];
   bool need_schedule = false;
+  std::size_t depth = 0;
   {
     const std::scoped_lock lock(actor.mutex);
     actor.mailbox.push_back(message);
+    depth = actor.mailbox.size();
     if (!actor.scheduled) {
       actor.scheduled = true;
       need_schedule = true;
     }
   }
+#if CNET_OBS
+  // Depth is read under the mailbox lock but recorded outside it; sharded
+  // by the receiving actor so concurrent senders rarely collide.
+  if (queue_depth_ != nullptr) queue_depth_->record(to, depth);
+#else
+  (void)depth;
+#endif
   if (need_schedule) enqueue_runnable(to);
 }
 

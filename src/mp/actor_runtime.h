@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cnet::mp {
 
 using ActorId = std::uint32_t;
@@ -55,6 +57,13 @@ class ActorRuntime {
   /// Delivers a message; callable from any thread and from handlers.
   void send(ActorId to, const Message& message);
 
+  /// Optional mailbox-depth probe (borrowed; may be null). When set before
+  /// start() and the library is built with CNET_OBS=1, every send() records
+  /// the receiving actor's post-enqueue mailbox depth, giving the queueing
+  /// distribution across all actors (see docs/OBSERVABILITY.md).
+  void observe_queue_depth(obs::LogHistogram* histogram) { queue_depth_ = histogram; }
+
+  /// Messages handled so far, totalled over all actors (relaxed counter).
   std::uint64_t messages_processed() const;
 
  private:
@@ -73,6 +82,7 @@ class ActorRuntime {
 
   std::vector<std::unique_ptr<Actor>> actors_;
   std::uint32_t worker_count_;
+  obs::LogHistogram* queue_depth_ = nullptr;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -1,5 +1,6 @@
 #include "mp/network_service.h"
 
+#include "obs/backend_metrics.h"
 #include "util/assert.h"
 
 namespace cnet::mp {
@@ -9,12 +10,27 @@ NetworkService::NetworkService(topo::Network net, Options options)
       runtime_(options.workers),
       node_counts_(net_.node_count(), 0),
       output_counts_(net_.output_width(), 0) {
+#if CNET_OBS
+  if (options.metrics != nullptr) {
+    metrics_ = options.metrics;
+    metrics_->attach(static_cast<std::uint32_t>(net_.node_count()) + net_.output_width());
+    runtime_.observe_queue_depth(&metrics_->queue_depth);
+  }
+#endif
   // Balancer actors: route the token to output port (count++ mod fan_out)
   // and forward it to the next balancer actor or counter actor.
   node_actors_.reserve(net_.node_count());
   for (topo::NodeId id = 0; id < net_.node_count(); ++id) {
     node_actors_.push_back(runtime_.add_actor([this, id](ActorId, const Message& message) {
       const topo::Node& node = net_.node(id);
+#if CNET_OBS
+      // Sharded by the actor id: an actor is single-threaded, so its cells
+      // are effectively uncontended.
+      if (metrics_ != nullptr) {
+        metrics_->node_messages.add(id);
+        metrics_->actor_messages.add(id, id);
+      }
+#endif
       const std::uint64_t t = node_counts_[id]++;
       const topo::OutLink next = node.out[t % node.fan_out];
       if (next.node == topo::kNoNode) {
@@ -28,6 +44,13 @@ NetworkService::NetworkService(topo::Network net, Options options)
   counter_actors_.reserve(net_.output_width());
   for (std::uint32_t port = 0; port < net_.output_width(); ++port) {
     counter_actors_.push_back(runtime_.add_actor([this, port](ActorId, const Message& message) {
+#if CNET_OBS
+      if (metrics_ != nullptr) {
+        const auto actor = static_cast<std::uint32_t>(net_.node_count()) + port;
+        metrics_->counter_messages.add(actor);
+        metrics_->actor_messages.add(actor, actor);
+      }
+#endif
       const std::uint64_t a = output_counts_[port]++;
       auto* cell = static_cast<ResponseCell*>(message.context);
       {
@@ -43,10 +66,19 @@ NetworkService::NetworkService(topo::Network net, Options options)
 
 std::uint64_t NetworkService::count(std::uint32_t input) {
   CNET_CHECK(input < net_.input_width());
+#if CNET_OBS
+  const std::uint64_t t_start = metrics_ != nullptr ? obs::now_ns() : 0;
+#endif
   ResponseCell cell;
   runtime_.send(node_actors_[net_.inputs()[input].node], Message{0, &cell});
   std::unique_lock lock(cell.mutex);
   cell.cv.wait(lock, [&cell] { return cell.done; });
+#if CNET_OBS
+  if (metrics_ != nullptr) {
+    metrics_->tokens.add(input);
+    metrics_->count_latency_ns.record(input, obs::now_ns() - t_start);
+  }
+#endif
   return cell.value;
 }
 

@@ -7,6 +7,10 @@
 // threads: balancer transitions are serialized per actor (instantaneous
 // w.r.t. each other), and link traversal times are whatever the scheduler
 // makes them — which is exactly the c1/c2 variability the paper studies.
+//
+// Observability: point Options::metrics at an obs::MpMetrics to record the
+// per-actor message breakdown, mailbox-depth distribution, and client
+// count() latency (docs/OBSERVABILITY.md documents every metric).
 #pragma once
 
 #include <condition_variable>
@@ -18,12 +22,24 @@
 #include "mp/actor_runtime.h"
 #include "topo/network.h"
 
+namespace cnet::obs {
+struct MpMetrics;  // obs/backend_metrics.h
+}
+
 namespace cnet::mp {
 
+/// Message-passing execution of one topo::Network: balancer node i is actor
+/// i, output counter p is actor node_count + p (the actor-index convention
+/// obs::MpMetrics::actor_messages follows).
 class NetworkService {
  public:
   struct Options {
+    /// Worker threads draining the actor run queue.
     std::uint32_t workers = 2;
+
+    /// Observability sink (borrowed; may be null — the default — for zero
+    /// instrumentation cost; ignored in CNET_OBS=0 builds).
+    obs::MpMetrics* metrics = nullptr;
   };
 
   /// Takes a copy of the topology and starts the workers.
@@ -34,7 +50,11 @@ class NetworkService {
   /// blocks until the token's value message arrives. Thread-safe.
   std::uint64_t count(std::uint32_t input);
 
+  /// The topology this service executes (the construction-time copy).
   const topo::Network& network() const { return net_; }
+
+  /// Messages handled by all actors so far (balancer hops + counter
+  /// deliveries); see obs::MpMetrics for the per-actor breakdown.
   std::uint64_t messages_processed() const { return runtime_.messages_processed(); }
 
  private:
@@ -46,6 +66,7 @@ class NetworkService {
   };
 
   topo::Network net_;
+  obs::MpMetrics* metrics_ = nullptr;  ///< null unless CNET_OBS wiring is live
   ActorRuntime runtime_;
   std::vector<ActorId> node_actors_;     ///< per balancer node
   std::vector<ActorId> counter_actors_;  ///< per network output

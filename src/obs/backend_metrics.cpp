@@ -1,0 +1,48 @@
+#include "obs/backend_metrics.h"
+
+#include <bit>
+
+#include "util/assert.h"
+
+namespace cnet::obs {
+
+void CounterMetrics::attach(std::uint32_t node_count) {
+  CNET_CHECK_MSG(std::has_single_bit(sample_period), "sample_period must be a power of two");
+  sample_mask_ = sample_period - 1;
+  balancer_visits.resize(node_count);
+}
+
+void CounterMetrics::register_into(MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.add_counter(prefix + "tokens", "tokens", &tokens);
+  registry.add_counter(prefix + "batch_calls", "calls", &batch_calls);
+  registry.add_counter(prefix + "sampled", "tokens", &sampled);
+  registry.add_counter(prefix + "prism_pairs", "visits", &prism_pairs);
+  registry.add_counter(prefix + "prism_toggles", "visits", &prism_toggles);
+  registry.add_counter(prefix + "mcs_acquires", "acquires", &mcs_acquires);
+  registry.add_gauge(prefix + "c2c1_estimate", "ratio", [this] { return c2c1_estimate(); });
+  registry.add_histogram(prefix + "token_latency", "ns", &token_latency_ns);
+  registry.add_histogram(prefix + "hop_latency", "ns", &hop_latency_ns);
+}
+
+void MpMetrics::attach(std::uint32_t actor_count) { actor_messages.resize(actor_count); }
+
+void MpMetrics::register_into(MetricsRegistry& registry, const std::string& prefix) const {
+  registry.add_counter(prefix + "tokens", "tokens", &tokens);
+  registry.add_counter(prefix + "node_messages", "messages", &node_messages);
+  registry.add_counter(prefix + "counter_messages", "messages", &counter_messages);
+  registry.add_histogram(prefix + "count_latency", "ns", &count_latency_ns);
+  registry.add_histogram(prefix + "queue_depth", "messages", &queue_depth);
+}
+
+void PsimMetrics::register_into(MetricsRegistry& registry, const std::string& prefix) const {
+  registry.add_counter(prefix + "ops", "ops", &ops);
+  registry.add_counter(prefix + "toggles", "transitions", &toggles);
+  registry.add_counter(prefix + "diffractions", "pairings", &diffractions);
+  registry.add_counter(prefix + "events", "events", &events);
+  registry.add_gauge(prefix + "c2c1_estimate", "ratio", [this] { return c2c1_estimate(); });
+  registry.add_histogram(prefix + "op_latency", "cycles", &op_latency_cycles);
+  registry.add_histogram(prefix + "hop_latency", "cycles", &hop_latency_cycles);
+}
+
+}  // namespace cnet::obs

@@ -1,0 +1,139 @@
+// The concrete telemetry surface of each execution backend: one plain struct
+// of sharded metrics per backend, attached by pointer through the backend's
+// options (rt::CounterOptions::metrics, mp::NetworkService::Options::metrics,
+// psim::MachineParams::metrics). A null pointer — or a library built with
+// CNET_OBS=0 — means the backend records nothing and its hot path is the
+// uninstrumented one.
+//
+// Every metric name, its unit, and its merge semantics are documented in
+// docs/OBSERVABILITY.md; register_into() publishes the struct's metrics
+// under those names so cnet_cli stats and embedders render one uniform
+// snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace cnet::obs {
+
+/// Telemetry for the real-thread backend (rt::NetworkCounter /
+/// rt::RoutingPlan), shared by both executors. One instance observes one
+/// counter; construct, optionally tune `sample_period` / enable `trace`,
+/// then hand the pointer to rt::CounterOptions::metrics.
+struct CounterMetrics {
+  /// Timed-token sampling period (power of two; 1 = time every token).
+  /// Latency histograms, the c2/c1 estimate, and the trace ring only see
+  /// every sample_period-th token per shard; the always-on counters
+  /// (tokens, visits, prism outcomes) see every token.
+  std::uint32_t sample_period = 64;
+
+  ShardedCounter tokens;        ///< counter values handed out
+  ShardedCounter batch_calls;   ///< next_batch invocations
+  ShardedCounter sampled;       ///< tokens that took the timed path
+  ShardedCounter prism_pairs;   ///< prism visits resolved by diffraction
+  ShardedCounter prism_toggles; ///< prism visits that fell to the toggle
+  ShardedCounter mcs_acquires;  ///< MCS balancer critical-section entries
+
+  /// Per-balancer visit counts, indexed by the executor's node index
+  /// (RoutingPlan and the graph walk share topo::Network node ids).
+  ShardedCounterArray balancer_visits;
+
+  LogHistogram token_latency_ns;  ///< entry-to-value, sampled tokens
+  LogHistogram hop_latency_ns;    ///< per-balancer traversal, sampled tokens
+
+  /// Optional flight recorder; call trace.enable() before attaching.
+  TraceRing trace;
+
+  /// Called by the executor at construction; sizes balancer_visits and
+  /// freezes the sampling mask. One CounterMetrics observes one topology.
+  void attach(std::uint32_t node_count);
+
+  /// Sampling decision for the calling thread's next token.
+  bool should_sample(std::uint32_t thread_id) noexcept {
+    return (sample_counter_.next(thread_id) & sample_mask_) == 0;
+  }
+
+  /// Online estimate of the effective timing ratio c2/c1: the tail/p10
+  /// ratio of sampled per-hop latencies. The paper's c1/c2 are the fastest
+  /// and slowest link traversal times; a quantile ratio is their
+  /// observable counterpart. The default p90 tail is preemption-robust but
+  /// *throughput-weighted* — tokens that barely move contribute few hops,
+  /// so extreme skew saturates it; pass tail = 0.999 to chase rare slow
+  /// links at the cost of also seeing scheduler noise (the trade-off is
+  /// measured in EXPERIMENTS.md, "Online c2/c1 estimator"). Returns 1.0
+  /// until enough samples exist.
+  double c2c1_estimate(double tail = 0.9) const {
+    return hop_latency_ns.snapshot().quantile_ratio(0.1, tail);
+  }
+
+  /// Publishes every metric under "<prefix>..." names (see
+  /// docs/OBSERVABILITY.md for the catalogue).
+  void register_into(MetricsRegistry& registry, const std::string& prefix = "rt.") const;
+
+ private:
+  /// Per-shard monotone counter driving should_sample().
+  struct SampleCounter {
+    struct alignas(kCacheLine) Shard {
+      std::atomic<std::uint64_t> n{0};
+    };
+    std::array<Shard, kShards> shards{};
+    std::uint64_t next(std::uint32_t thread_id) noexcept {
+      return shards[thread_id & kShardMask].n.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  SampleCounter sample_counter_;
+  std::uint64_t sample_mask_ = 63;
+};
+
+/// Telemetry for the message-passing backend (mp::NetworkService).
+struct MpMetrics {
+  ShardedCounter tokens;            ///< counting operations completed
+  ShardedCounter node_messages;     ///< token messages processed by balancer actors
+  ShardedCounter counter_messages;  ///< token messages processed by output-counter actors
+
+  /// Messages processed per actor: balancer actors first (by node id), then
+  /// output-counter actors (node_count + port).
+  ShardedCounterArray actor_messages;
+
+  LogHistogram count_latency_ns;  ///< client-observed count() latency
+  LogHistogram queue_depth;       ///< mailbox depth observed at each enqueue
+
+  /// Called by NetworkService at construction.
+  void attach(std::uint32_t actor_count);
+
+  void register_into(MetricsRegistry& registry, const std::string& prefix = "mp.") const;
+};
+
+/// Telemetry for the simulated multiprocessor (psim::run_workload). All
+/// latencies are in simulated cycles; recording never touches the engine,
+/// so an instrumented run is cycle-for-cycle identical to a bare one.
+struct PsimMetrics {
+  ShardedCounter ops;           ///< counting operations completed
+  ShardedCounter toggles;       ///< balancer toggle transitions
+  ShardedCounter diffractions;  ///< prism pairings
+  ShardedCounter events;        ///< engine events processed
+
+  LogHistogram op_latency_cycles;   ///< start-to-completion, every operation
+  LogHistogram hop_latency_cycles;  ///< per-node traversal, every hop
+
+  /// Optional flight recorder (cycle-stamped; dump with ts_per_us = 1.0 to
+  /// view one cycle per microsecond in chrome://tracing).
+  TraceRing trace;
+
+  /// Cycle-exact analogue of CounterMetrics::c2c1_estimate(); compare with
+  /// the paper's (Tog + W)/Tog from psim::MachineResult. Same tail
+  /// semantics: 0.9 measures bulk skew, 0.999 chases rare slow links
+  /// (EXPERIMENTS.md quantifies both against the paper's measure).
+  double c2c1_estimate(double tail = 0.9) const {
+    return hop_latency_cycles.snapshot().quantile_ratio(0.1, tail);
+  }
+
+  void register_into(MetricsRegistry& registry, const std::string& prefix = "psim.") const;
+};
+
+}  // namespace cnet::obs

@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace cnet::obs {
+
+void ShardedCounterArray::resize(std::uint32_t size) {
+  if (cells_ != nullptr) {
+    CNET_CHECK_MSG(size == size_, "ShardedCounterArray resized to a different size");
+    return;
+  }
+  CNET_CHECK(size > 0);
+  constexpr std::uint32_t kCellsPerLine = kCacheLine / sizeof(std::atomic<std::uint64_t>);
+  size_ = size;
+  stride_ = (size + kCellsPerLine - 1) / kCellsPerLine * kCellsPerLine;
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(kShards) * stride_);
+}
+
+std::uint64_t ShardedCounterArray::value(std::uint32_t index) const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    total += cells_[static_cast<std::size_t>(s) * stride_ + index].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedCounterArray::values() const {
+  std::vector<std::uint64_t> out(size_, 0);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    const std::atomic<std::uint64_t>* slab = cells_.get() + static_cast<std::size_t>(s) * stride_;
+    for (std::uint32_t i = 0; i < size_; ++i) out[i] += slab[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const auto next = static_cast<double>(seen + buckets[b]);
+    if (rank < next) {
+      if (b == 0) return 0.0;
+      // Geometric interpolation between the bucket edges: latencies are
+      // ratio-scaled quantities, so log-space interpolation is the unbiased
+      // within-bucket guess.
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double frac =
+          buckets[b] == 1 ? 0.5 : (rank - static_cast<double>(seen)) /
+                                      static_cast<double>(buckets[b] - 1);
+      return lo * std::pow(hi / lo, frac);
+    }
+    seen += buckets[b];
+  }
+  return static_cast<double>(bucket_hi(64));  // unreachable with total > 0
+}
+
+double HistogramSnapshot::quantile_ratio(double lo_q, double hi_q) const {
+  const double lo = quantile(lo_q);
+  const double hi = quantile(hi_q);
+  if (lo <= 0.0 || hi <= 0.0) return 1.0;
+  return hi / lo;
+}
+
+std::string HistogramSnapshot::ascii(std::size_t width) const {
+  std::string out;
+  std::uint64_t peak = 0;
+  for (const std::uint64_t c : buckets) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+  char line[160];
+  for (std::uint32_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(buckets[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "[%12llu, %12llu] %10llu ",
+                  static_cast<unsigned long long>(bucket_lo(b)),
+                  static_cast<unsigned long long>(bucket_hi(b)),
+                  static_cast<unsigned long long>(buckets[b]));
+    out += line;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (const std::uint64_t c : snap.buckets) snap.total += c;
+  return snap;
+}
+
+}  // namespace cnet::obs

@@ -42,8 +42,13 @@ namespace cnet::psim {
 
 using Cycle = std::uint64_t;
 
+/// Deterministic single-threaded discrete-event scheduler over coroutine
+/// handles (see the file comment for the timing-wheel design). psim code
+/// observes it through now()/sleep()/schedule(); the observability layer
+/// reads events_processed() after a run and never mutates engine state.
 class Engine {
  public:
+  /// The cycle currently being simulated (monotone during run()).
   Cycle now() const { return now_; }
 
   /// Resume `h` at absolute cycle `at`.
@@ -73,6 +78,8 @@ class Engine {
     }
   }
 
+  /// Total events ever scheduled (== fired once run() returns); exported as
+  /// the psim.events metric and a cheap proxy for simulation effort.
   std::uint64_t events_processed() const { return next_seq_; }
 
   /// Awaitable: suspend the current processor for `dt` cycles. sleep(0)

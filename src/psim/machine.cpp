@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/backend_metrics.h"
 #include "util/assert.h"
 
 namespace cnet::psim {
@@ -93,6 +94,18 @@ class Machine {
     result.makespan = engine_.now();
     result.memory_accesses = memory_.accesses();
     result.events = engine_.events_processed();
+#if CNET_OBS
+    if (params_.metrics != nullptr) {
+      obs::PsimMetrics& m = *params_.metrics;
+      m.ops.add(0, result.history.size());
+      m.toggles.add(0, result.toggles);
+      m.diffractions.add(0, result.diffractions);
+      m.events.add(0, result.events);
+      for (const lin::Operation& op : result.history) {
+        m.op_latency_cycles.record(op.actor, static_cast<std::uint64_t>(op.end - op.start));
+      }
+    }
+#endif
     return result;
   }
 
@@ -107,17 +120,40 @@ class Machine {
       const auto start = static_cast<double>(engine_.now());
       topo::OutLink at = net_->inputs()[p % net_->input_width()];
       while (at.node != topo::kNoNode) {
-        const std::uint32_t port = co_await balancers_[at.node]->traverse(p, rng);
+        const topo::NodeId node = at.node;
+        const Cycle hop_start = engine_.now();
+        const std::uint32_t port = co_await balancers_[node]->traverse(p, rng);
         const Cycle wait = post_node_wait(p, rng);
         if (wait != 0) co_await engine_.sleep(wait);
         co_await engine_.sleep(params_.hop_cycles);
-        at = net_->node(at.node).out[port];
+#if CNET_OBS
+        // Hop latency deliberately includes the post-node wait and the hop
+        // cycles: the p90/p10 ratio of this histogram is the estimator's
+        // stand-in for the paper's (Tog + W) / Tog.
+        if (params_.metrics != nullptr) {
+          const Cycle d = engine_.now() - hop_start;
+          params_.metrics->hop_latency_cycles.record(p, d);
+          params_.metrics->trace.record(
+              p, obs::TraceEvent{hop_start, d, p, node, obs::TracePhase::kHop});
+        }
+#else
+        (void)hop_start;
+#endif
+        at = net_->node(node).out[port];
       }
       const std::uint64_t nth = co_await memory_.fetch_add(counters_[at.port], 1);
       const std::uint64_t value = at.port + nth * net_->output_width();
       ++completed_;
-      history_.push_back(
-          lin::Operation{start, static_cast<double>(engine_.now()), value, p});
+      const auto end = static_cast<double>(engine_.now());
+#if CNET_OBS
+      if (params_.metrics != nullptr) {
+        params_.metrics->trace.record(
+            p, obs::TraceEvent{static_cast<std::uint64_t>(start),
+                               static_cast<std::uint64_t>(end - start), p,
+                               p % net_->input_width(), obs::TracePhase::kOp});
+      }
+#endif
+      history_.push_back(lin::Operation{start, end, value, p});
     }
   }
 

@@ -17,6 +17,10 @@
 #include "topo/network.h"
 #include "util/stats.h"
 
+namespace cnet::obs {
+struct PsimMetrics;  // obs/backend_metrics.h
+}
+
 namespace cnet::psim {
 
 struct MachineParams {
@@ -45,6 +49,14 @@ struct MachineParams {
   /// configuration); all other nodes use the MCS toggle balancer.
   bool use_diffraction = false;
   PrismParams prism{};
+
+  /// Observability sink (borrowed; may be null — the default). When set and
+  /// the library is built with CNET_OBS=1, the run records cycle-stamped
+  /// event counts, per-hop and per-op latencies in simulated cycles, and —
+  /// if metrics->trace is enabled — a chrome://tracing dump of token hops.
+  /// Recording never touches the engine: an instrumented run is
+  /// cycle-for-cycle identical to a bare one.
+  obs::PsimMetrics* metrics = nullptr;
 };
 
 struct LayerStats {

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/backend_metrics.h"
 #include "util/assert.h"
 #include "util/spin.h"
 
@@ -54,6 +55,12 @@ NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
     }
   }
   outputs_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(net_.output_width());
+
+#if CNET_OBS
+  if (options_.metrics != nullptr) {
+    options_.metrics->attach(static_cast<std::uint32_t>(net_.node_count()));
+  }
+#endif
 }
 
 NetworkCounter::~NetworkCounter() = default;
@@ -63,6 +70,11 @@ std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t
   CNET_CHECK(input < net_.input_width());
   CNET_CHECK(thread_id < options_.max_threads);
   if (plan_) return plan_->next_hooked(thread_id, input, after_node, ctx);
+#if CNET_OBS
+  if (options_.metrics != nullptr) [[unlikely]] {
+    return walk_instrumented(thread_id, input, after_node, ctx);
+  }
+#endif
   topo::OutLink at = net_.inputs()[input];
   while (at.node != topo::kNoNode) {
     const std::uint32_t port = traverse_node(at.node, thread_id);
@@ -73,6 +85,56 @@ std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t
   return at.port + nth * net_.output_width();
 }
 
+// Graph-walk twin of RoutingPlan::route_instrumented: identical routing,
+// identical metric semantics (pass-through padding nodes traversed but not
+// counted as balancer visits), so the two engines are interchangeable under
+// one obs::CounterMetrics.
+std::uint64_t NetworkCounter::walk_instrumented(std::uint32_t thread_id, std::uint32_t input,
+                                                NodeHook after_node, void* ctx) {
+#if CNET_OBS
+  obs::CounterMetrics& m = *options_.metrics;
+  m.tokens.add(thread_id);
+  const bool sampled = m.should_sample(thread_id);
+  std::uint64_t t_start = 0;
+  std::uint64_t t_last = 0;
+  if (sampled) {
+    m.sampled.add(thread_id);
+    t_start = t_last = obs::now_ns();
+  }
+  topo::OutLink at = net_.inputs()[input];
+  while (at.node != topo::kNoNode) {
+    const topo::Node& node = net_.node(at.node);
+    const std::uint32_t port = traverse_node(at.node, thread_id);
+    if (!node.is_pass_through()) {
+      m.balancer_visits.add(thread_id, at.node);
+      if (sampled) {
+        const std::uint64_t now = obs::now_ns();
+        m.hop_latency_ns.record(thread_id, now - t_last);
+        m.trace.record(thread_id, {t_last, now - t_last, thread_id, at.node,
+                                   obs::TracePhase::kHop});
+        t_last = now;
+      }
+    }
+    if (after_node != nullptr) after_node(ctx);
+    at = node.out[port];
+  }
+  if (sampled) {
+    const std::uint64_t now = obs::now_ns();
+    m.token_latency_ns.record(thread_id, now - t_start);
+    m.trace.record(thread_id,
+                   {t_start, now - t_start, thread_id, input, obs::TracePhase::kOp});
+  }
+  const std::uint64_t nth = outputs_[at.port]->fetch_add(1, std::memory_order_acq_rel);
+  return at.port + nth * net_.output_width();
+#else
+  (void)thread_id;
+  (void)input;
+  (void)after_node;
+  (void)ctx;
+  check_failed("CNET_OBS", __FILE__, __LINE__, "instrumented walk in a CNET_OBS=0 build");
+#endif
+}
+
 void NetworkCounter::next_batch(std::uint32_t thread_id, std::uint32_t input,
                                 std::span<std::uint64_t> out) {
   CNET_CHECK(input < net_.input_width());
@@ -81,17 +143,35 @@ void NetworkCounter::next_batch(std::uint32_t thread_id, std::uint32_t input,
     plan_->next_batch(thread_id, input, out);
     return;
   }
+#if CNET_OBS
+  if (options_.metrics != nullptr && !out.empty()) options_.metrics->batch_calls.add(thread_id);
+#endif
   for (std::uint64_t& value : out) value = next(thread_id, input);
 }
 
 std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_t thread_id) {
   NodeState& state = nodes_[node_idx];
+#if CNET_OBS
+  const auto count_prism_outcome = [&](bool paired) {
+    if (options_.metrics == nullptr) return;
+    if (paired) {
+      options_.metrics->prism_pairs.add(thread_id);
+    } else {
+      options_.metrics->prism_toggles.add(thread_id);
+    }
+  };
+#else
+  const auto count_prism_outcome = [](bool) {};
+#endif
   switch (state.kind) {
     case NodeState::Kind::kFetchAdd: {
       const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
       return static_cast<std::uint32_t>(t % state.fan_out);
     }
     case NodeState::Kind::kMcsLocked: {
+#if CNET_OBS
+      if (options_.metrics != nullptr) options_.metrics->mcs_acquires.add(thread_id);
+#endif
       McsLock::Guard guard(state.lock);
       const std::uint64_t t = state.count.load(std::memory_order_relaxed);
       state.count.store(t + 1, std::memory_order_relaxed);
@@ -114,6 +194,7 @@ std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_
       for (std::uint32_t i = 0; i < state.prism_spin; ++i) {
         if (slot.load(std::memory_order_acquire) == (my_id | kPaired)) {
           slot.store(0, std::memory_order_release);
+          count_prism_outcome(true);
           return 0;
         }
         cpu_relax();
@@ -124,6 +205,7 @@ std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_
         SpinWaiter waiter;
         while (slot.load(std::memory_order_acquire) != (my_id | kPaired)) waiter.wait();
         slot.store(0, std::memory_order_release);
+        count_prism_outcome(true);
         return 0;
       }
       ++attempt;  // camping window expired
@@ -131,12 +213,14 @@ std::uint32_t NetworkCounter::traverse_node(std::uint32_t node_idx, std::uint32_
     }
     if ((seen & kPaired) == 0) {
       if (slot.compare_exchange_strong(seen, seen | kPaired, std::memory_order_acq_rel)) {
+        count_prism_outcome(true);
         return 1;
       }
     }
   }
 
   // Toggle path.
+  count_prism_outcome(false);
   const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
   return static_cast<std::uint32_t>(t % state.fan_out);
 }

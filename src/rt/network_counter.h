@@ -25,6 +25,11 @@
 // concurrent callers) used for prism pairing and the RNG streams. The
 // counter itself is otherwise oblivious to threads; MCS queue nodes live on
 // the caller's stack.
+//
+// Observability: point CounterOptions::metrics at an obs::CounterMetrics to
+// record throughput, per-balancer visits, prism/MCS outcomes, and sampled
+// latencies on either engine (docs/OBSERVABILITY.md documents every metric;
+// builds with CNET_OBS=0 compile the instrumentation out entirely).
 #pragma once
 
 #include <atomic>
@@ -79,6 +84,7 @@ class NetworkCounter {
     return next(thread_id, thread_id % net_.input_width());
   }
 
+  /// The topology this counter executes (the construction-time copy).
   const topo::Network& network() const { return net_; }
 
   /// The engine tokens actually run through.
@@ -94,6 +100,8 @@ class NetworkCounter {
   struct NodeState;
 
   std::uint32_t traverse_node(std::uint32_t node_idx, std::uint32_t thread_id);
+  std::uint64_t walk_instrumented(std::uint32_t thread_id, std::uint32_t input,
+                                  NodeHook after_node, void* ctx);
 
   topo::Network net_;
   CounterOptions options_;

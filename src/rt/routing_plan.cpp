@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/backend_metrics.h"
 #include "util/assert.h"
 #include "util/spin.h"
 
@@ -117,6 +118,13 @@ RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options
   }
 
   outputs_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(output_width_);
+
+#if CNET_OBS
+  if (options.metrics != nullptr) {
+    metrics_ = options.metrics;
+    metrics_->attach(n_nodes);
+  }
+#endif
 }
 
 RoutingPlan::~RoutingPlan() = default;
@@ -132,6 +140,9 @@ std::uint32_t RoutingPlan::traverse(std::uint32_t node, std::uint32_t thread_id)
     }
     case Kind::kMcs: {
       McsState& state = mcs_[state_idx_[node]];
+#if CNET_OBS
+      if (metrics_ != nullptr) metrics_->mcs_acquires.add(thread_id);
+#endif
       McsLock::Guard guard(state.lock);
       const std::uint64_t t = state.count.load(std::memory_order_relaxed);
       state.count.store(t + 1, std::memory_order_relaxed);
@@ -146,6 +157,18 @@ std::uint32_t RoutingPlan::traverse(std::uint32_t node, std::uint32_t thread_id)
 std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t thread_id) {
   // Same protocol as the graph walk: collision-race losses retry; an expired
   // camping window falls through to the toggle.
+#if CNET_OBS
+  const auto count_outcome = [&](bool paired) {
+    if (metrics_ == nullptr) return;
+    if (paired) {
+      metrics_->prism_pairs.add(thread_id);
+    } else {
+      metrics_->prism_toggles.add(thread_id);
+    }
+  };
+#else
+  const auto count_outcome = [](bool) {};
+#endif
   const std::uint64_t my_id = thread_id + 1;
   Rng& rng = detail::prism_rng();
   for (int attempt = 0; attempt < 1;) {
@@ -158,6 +181,7 @@ std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t threa
       for (std::uint32_t i = 0; i < state.spin; ++i) {
         if (slot.load(std::memory_order_acquire) == (my_id | kPaired)) {
           slot.store(0, std::memory_order_release);
+          count_outcome(true);
           return 0;
         }
         cpu_relax();
@@ -168,6 +192,7 @@ std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t threa
         SpinWaiter waiter;
         while (slot.load(std::memory_order_acquire) != (my_id | kPaired)) waiter.wait();
         slot.store(0, std::memory_order_release);
+        count_outcome(true);
         return 0;
       }
       ++attempt;  // camping window expired
@@ -175,17 +200,26 @@ std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t threa
     }
     if ((seen & kPaired) == 0) {
       if (slot.compare_exchange_strong(seen, seen | kPaired, std::memory_order_acq_rel)) {
+        count_outcome(true);
         return 1;
       }
     }
   }
 
+  count_outcome(false);
   const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
   return static_cast<std::uint32_t>(t & 1);
 }
 
 std::uint32_t RoutingPlan::route(std::uint32_t thread_id, std::uint32_t input,
                                  NodeHook after_node, void* ctx) {
+#if CNET_OBS
+  // One predictable branch when built with observability; the compile-time
+  // guard removes even that from a CNET_OBS=0 build.
+  if (metrics_ != nullptr) [[unlikely]] {
+    return route_instrumented(thread_id, input, after_node, ctx);
+  }
+#endif
   if (after_node == nullptr) {
     std::uint32_t hop = entry_fast_[input];
     if (homogeneous_toggle_fan2_) {
@@ -212,6 +246,55 @@ std::uint32_t RoutingPlan::route(std::uint32_t thread_id, std::uint32_t input,
   return hop & ~kOutputBit;
 }
 
+// The instrumented twin of route(): same routing decisions, plus always-on
+// counters (token + per-balancer visit counts) and, for every
+// sample_period-th token per shard, timed hops feeding the latency
+// histograms, the c2/c1 estimator, and the trace ring. Pass-through padding
+// nodes are not balancers and are never counted as visits (they are
+// compiled out of the un-hooked tables anyway).
+std::uint32_t RoutingPlan::route_instrumented(std::uint32_t thread_id, std::uint32_t input,
+                                              NodeHook after_node, void* ctx) {
+#if CNET_OBS
+  obs::CounterMetrics& m = *metrics_;
+  m.tokens.add(thread_id);
+  const bool sampled = m.should_sample(thread_id);
+  std::uint64_t t_start = 0;
+  std::uint64_t t_last = 0;
+  if (sampled) {
+    m.sampled.add(thread_id);
+    t_start = t_last = obs::now_ns();
+  }
+  // Hooked tokens must keep visiting pass-through nodes (the delay harness
+  // counts hook invocations), so pick the same tables route() would.
+  const std::uint32_t* succ = after_node != nullptr ? succ_.data() : succ_fast_.data();
+  std::uint32_t hop = after_node != nullptr ? entry_[input] : entry_fast_[input];
+  while ((hop & kOutputBit) == 0) {
+    const std::uint32_t port = traverse(hop, thread_id);
+    if (kind_[hop] != Kind::kPass) {
+      m.balancer_visits.add(thread_id, hop);
+      if (sampled) {
+        const std::uint64_t now = obs::now_ns();
+        m.hop_latency_ns.record(thread_id, now - t_last);
+        m.trace.record(thread_id, {t_last, now - t_last, thread_id, hop,
+                                   obs::TracePhase::kHop});
+        t_last = now;
+      }
+    }
+    if (after_node != nullptr) after_node(ctx);
+    hop = succ[succ_offset_[hop] + port];
+  }
+  if (sampled) {
+    const std::uint64_t now = obs::now_ns();
+    m.token_latency_ns.record(thread_id, now - t_start);
+    m.trace.record(thread_id,
+                   {t_start, now - t_start, thread_id, input, obs::TracePhase::kOp});
+  }
+  return hop & ~kOutputBit;
+#else
+  return route(thread_id, input, after_node, ctx);  // metrics_ is never set
+#endif
+}
+
 std::uint64_t RoutingPlan::next_hooked(std::uint32_t thread_id, std::uint32_t input,
                                        NodeHook after_node, void* ctx) {
   CNET_CHECK(input < input_width_);
@@ -225,6 +308,9 @@ void RoutingPlan::next_batch_hooked(std::uint32_t thread_id, std::uint32_t input
                                     void* ctx) {
   CNET_CHECK(input < input_width_);
   if (out.empty()) return;
+#if CNET_OBS
+  if (metrics_ != nullptr) [[unlikely]] metrics_->batch_calls.add(thread_id);
+#endif
   const std::uint32_t w = output_width_;
   if (w > kMaxBatchedWidth) {
     for (std::uint64_t& value : out) {

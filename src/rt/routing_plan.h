@@ -43,8 +43,13 @@
 #include "util/cacheline.h"
 #include "util/rng.h"
 
+namespace cnet::obs {
+struct CounterMetrics;  // obs/backend_metrics.h
+}
+
 namespace cnet::rt {
 
+/// How a balancing node updates its traversal count.
 enum class BalancerMode {
   kFetchAdd,   ///< lock-free atomic balancers
   kMcsLocked,  ///< balancers as MCS-protected critical sections (§5)
@@ -56,6 +61,10 @@ enum class ExecutionEngine {
   kGraphWalk,     ///< the original per-token topo::Network graph walk
 };
 
+/// Configuration shared by both rt executors (NetworkCounter and the
+/// RoutingPlan it compiles). The defaults are the production setup:
+/// lock-free fetch-add balancers on the compiled plan, no diffraction,
+/// no instrumentation.
 struct CounterOptions {
   BalancerMode mode = BalancerMode::kFetchAdd;
   /// Use prism diffraction on 1-in/2-out nodes.
@@ -70,6 +79,15 @@ struct CounterOptions {
   /// Executor selection; the graph walk is kept for cross-checking and
   /// benchmarking against the compiled plan.
   ExecutionEngine engine = ExecutionEngine::kCompiledPlan;
+
+  /// Observability sink (borrowed; may be null). When non-null and the
+  /// library is built with CNET_OBS=1, both executors record per-counter
+  /// throughput, per-balancer visits, prism/MCS outcomes, and sampled
+  /// token/hop latencies into it (see obs/backend_metrics.h and
+  /// docs/OBSERVABILITY.md). Null — or CNET_OBS=0 — keeps the hot path
+  /// free of instrumentation. The sink must outlive the executor and may
+  /// observe only one executor at a time.
+  obs::CounterMetrics* metrics = nullptr;
 };
 
 /// Called after each node traversal when instrumenting a token's walk (the
@@ -91,6 +109,10 @@ namespace detail {
 Rng& prism_rng();
 }  // namespace detail
 
+/// A topo::Network compiled to structure-of-arrays form for real-thread
+/// execution (see the file comment for the layout). Construct once, then
+/// call next()/next_batch() from any number of threads; the plan is the
+/// engine behind NetworkCounter's default configuration.
 class RoutingPlan {
  public:
   /// Compiles `net` (copied; the plan is self-contained) for the given
@@ -156,10 +178,13 @@ class RoutingPlan {
   std::uint32_t traverse_prism(PrismState& state, std::uint32_t thread_id);
   std::uint32_t route(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
                       void* ctx);
+  std::uint32_t route_instrumented(std::uint32_t thread_id, std::uint32_t input,
+                                   NodeHook after_node, void* ctx);
 
   std::uint32_t input_width_ = 0;
   std::uint32_t output_width_ = 0;
   bool homogeneous_toggle_fan2_ = false;
+  obs::CounterMetrics* metrics_ = nullptr;  ///< null unless CNET_OBS wiring is live
 
   // --- compiled topology (immutable after construction) -----------------
   std::vector<Kind> kind_;                 ///< per node

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mp/actor_runtime.h"
+#include "obs/backend_metrics.h"
 #include "topo/builders.h"
 
 namespace cnet::mp {
@@ -104,6 +105,39 @@ TEST(NetworkService, MessageCountMatchesTopology) {
   while (service.messages_processed() < expected) std::this_thread::yield();
   EXPECT_EQ(service.messages_processed(), expected);
 }
+
+#if CNET_OBS
+TEST(NetworkService, MetricsMatchMessageFlow) {
+  const topo::Network net = topo::make_bitonic(4);
+  obs::MpMetrics metrics;
+  NetworkService service(net, {.workers = 2, .metrics = &metrics});
+  constexpr std::uint64_t kOps = 200;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    service.count(static_cast<std::uint32_t>(i % net.input_width()));
+  }
+  const auto expected = kOps * (net.depth() + 1);
+  while (service.messages_processed() < expected) std::this_thread::yield();
+
+  EXPECT_EQ(metrics.tokens.value(), kOps);
+  EXPECT_EQ(metrics.count_latency_ns.total(), kOps);
+  // Uniform network: each operation is depth balancer hops plus one counter
+  // delivery, and the per-actor breakdown sums to the same totals.
+  EXPECT_EQ(metrics.node_messages.value(), kOps * net.depth());
+  EXPECT_EQ(metrics.counter_messages.value(), kOps);
+  const auto node_count = static_cast<std::uint32_t>(net.node_count());
+  std::uint64_t node_total = 0;
+  std::uint64_t counter_total = 0;
+  const std::vector<std::uint64_t> per_actor = metrics.actor_messages.values();
+  ASSERT_EQ(per_actor.size(), node_count + net.output_width());
+  for (std::uint32_t a = 0; a < per_actor.size(); ++a) {
+    (a < node_count ? node_total : counter_total) += per_actor[a];
+  }
+  EXPECT_EQ(node_total, kOps * net.depth());
+  EXPECT_EQ(counter_total, kOps);
+  // Every enqueue observed a mailbox depth (clients + forwarded tokens).
+  EXPECT_EQ(metrics.queue_depth.total(), kOps * (net.depth() + 1));
+}
+#endif  // CNET_OBS
 
 }  // namespace
 }  // namespace cnet::mp

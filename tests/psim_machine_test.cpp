@@ -4,6 +4,7 @@
 
 #include <tuple>
 
+#include "obs/backend_metrics.h"
 #include "topo/builders.h"
 
 namespace cnet::psim {
@@ -203,6 +204,53 @@ TEST(Machine, PaddedNetworkRunsAndCounts) {
   std::string msg;
   EXPECT_TRUE(lin::values_form_range(result.history, &msg)) << msg;
 }
+
+#if CNET_OBS
+TEST(Machine, MetricsMirrorResultCounters) {
+  const topo::Network net = topo::make_counting_tree(16);
+  obs::PsimMetrics metrics;
+  MachineParams p = base_params(32, 2000);
+  p.use_diffraction = true;
+  p.metrics = &metrics;
+  const MachineResult result = run_workload(net, p);
+
+  EXPECT_EQ(metrics.ops.value(), result.history.size());
+  EXPECT_EQ(metrics.toggles.value(), result.toggles);
+  EXPECT_EQ(metrics.diffractions.value(), result.diffractions);
+  EXPECT_EQ(metrics.events.value(), result.events);
+  EXPECT_EQ(metrics.op_latency_cycles.total(), result.history.size());
+  // Every operation is depth hops, each recorded once.
+  EXPECT_EQ(metrics.hop_latency_cycles.total(), result.history.size() * net.depth());
+}
+
+TEST(Machine, InstrumentationDoesNotPerturbTheSimulation) {
+  // A recorded run must be cycle-for-cycle identical to a bare one:
+  // observation never feeds back into the engine.
+  const topo::Network net = topo::make_bitonic(8);
+  MachineParams p = base_params(16, 1500);
+  p.delayed_fraction = 0.25;
+  p.wait_cycles = 1000;
+  const MachineResult bare = run_workload(net, p);
+
+  obs::PsimMetrics metrics;
+  metrics.trace.enable(1024);
+  p.metrics = &metrics;
+  const MachineResult traced = run_workload(net, p);
+
+  EXPECT_EQ(traced.makespan, bare.makespan);
+  EXPECT_EQ(traced.events, bare.events);
+  ASSERT_EQ(traced.history.size(), bare.history.size());
+  for (std::size_t i = 0; i < bare.history.size(); ++i) {
+    EXPECT_EQ(traced.history[i].start, bare.history[i].start);
+    EXPECT_EQ(traced.history[i].end, bare.history[i].end);
+    EXPECT_EQ(traced.history[i].value, bare.history[i].value);
+  }
+  EXPECT_GT(metrics.trace.size(), 0u);
+  // The paper's estimate and the histogram estimate agree on whether the
+  // run was skewed: F = 25% at W = 1000 is far above the Cor 3.9 threshold.
+  EXPECT_GT(metrics.c2c1_estimate(), 2.0);
+}
+#endif  // CNET_OBS
 
 }  // namespace
 }  // namespace cnet::psim

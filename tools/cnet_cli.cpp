@@ -14,6 +14,11 @@
 //   cnet_cli count <bitonic|periodic|tree> <width> <threads> <ops> [batch] [plan|walk]
 //       real-thread throughput of the shared counter (compiled routing plan
 //       by default; 'walk' selects the per-token graph walk for comparison)
+//   cnet_cli stats <bitonic|periodic|tree> <width> <threads> <ops> [batch] [trace.json]
+//       like count, but with the observability layer attached: prints the
+//       full metrics snapshot (docs/OBSERVABILITY.md), the busiest
+//       balancers, and the online c2/c1 estimate; optionally dumps a
+//       chrome://tracing JSON of sampled token hops
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +31,8 @@
 #include <vector>
 
 #include "core/counting_network.h"
+#include "obs/backend_metrics.h"
+#include "obs/registry.h"
 #include "psim/machine.h"
 #include "sim/exhaustive.h"
 #include "sim/scenarios.h"
@@ -51,7 +58,9 @@ int usage() {
                "  cnet_cli exhaustive <bitonic|periodic|tree> <width> <tokens> <c2/c1>"
                " [slots] [step]\n"
                "  cnet_cli count    <bitonic|periodic|tree> <width> <threads> <ops>"
-               " [batch] [plan|walk]\n");
+               " [batch] [plan|walk]\n"
+               "  cnet_cli stats    <bitonic|periodic|tree> <width> <threads> <ops>"
+               " [batch] [trace.json]\n");
   return 2;
 }
 
@@ -248,6 +257,94 @@ int cmd_count(const std::string& kind, std::uint32_t width, unsigned threads, st
   return 0;
 }
 
+int cmd_stats(const std::string& kind, std::uint32_t width, unsigned threads, std::uint64_t ops,
+              std::size_t batch, const std::string& trace_path) {
+  SharedCounter::Config config;
+  if (kind == "bitonic") {
+    config.topology = Topology::kBitonic;
+  } else if (kind == "periodic") {
+    config.topology = Topology::kPeriodic;
+  } else if (kind == "tree") {
+    config.topology = Topology::kTree;
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", kind.c_str());
+    return 2;
+  }
+#if !CNET_OBS
+  std::fprintf(stderr, "stats requires a CNET_OBS=1 build (reconfigure with -DCNET_OBS=ON)\n");
+  return 2;
+#endif
+  threads = std::max(threads, 1u);
+  batch = std::max<std::size_t>(batch, 1);
+  config.width = width;
+  config.max_threads = threads;
+
+  obs::CounterMetrics metrics;
+  // stats runs are short and diagnostic: sample densely so the latency
+  // histograms and the trace are well-populated even for small `ops`.
+  metrics.sample_period = 8;
+  if (!trace_path.empty()) metrics.trace.enable();
+  config.metrics = &metrics;
+  SharedCounter counter(config);
+
+  const std::uint64_t per_thread = ops / threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<std::uint64_t> out(batch);
+        std::uint64_t remaining = per_thread;
+        while (remaining != 0) {
+          const std::size_t n = std::min<std::uint64_t>(batch, remaining);
+          counter.next_batch(t, std::span<std::uint64_t>(out).first(n));
+          remaining -= n;
+        }
+      });
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  obs::MetricsRegistry registry;
+  metrics.register_into(registry);
+  std::printf("%s, %u threads x %llu ops, batch %zu\n\n", counter.network().name().c_str(),
+              threads, static_cast<unsigned long long>(per_thread), batch);
+  std::fputs(registry.snapshot().to_text().c_str(), stdout);
+
+  // Busiest balancers: where the token stream actually contends.
+  const std::vector<std::uint64_t> visits = metrics.balancer_visits.values();
+  std::vector<std::uint32_t> order(visits.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&visits](std::uint32_t a, std::uint32_t b) { return visits[a] > visits[b]; });
+  std::printf("\nbusiest balancers (node: visits):\n");
+  const std::size_t top = std::min<std::size_t>(order.size(), 8);
+  for (std::size_t i = 0; i < top; ++i) {
+    if (visits[order[i]] == 0) break;
+    std::printf("  %4u: %llu\n", order[i],
+                static_cast<unsigned long long>(visits[order[i]]));
+  }
+  std::printf("\nonline c2/c1 estimate: %.2f (hop-latency p90/p10; Cor 3.9 needs <= 2)\n",
+              metrics.c2c1_estimate());
+  std::printf("throughput: %.2f M items/s over %.3f s\n",
+              static_cast<double>(per_thread) * threads / secs / 1e6, secs);
+
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    const std::string json = metrics.trace.dump_chrome_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("trace: %llu events -> %s (load in chrome://tracing)\n",
+                static_cast<unsigned long long>(metrics.trace.size()), trace_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,6 +380,13 @@ int main(int argc, char** argv) {
                      std::strtoull(argv[5], nullptr, 10),
                      argc > 6 ? static_cast<std::size_t>(std::atoi(argv[6])) : 16,
                      argc > 7 ? argv[7] : "plan");
+  }
+  if (command == "stats" && argc >= 6) {
+    return cmd_stats(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                     static_cast<unsigned>(std::atoi(argv[4])),
+                     std::strtoull(argv[5], nullptr, 10),
+                     argc > 6 ? static_cast<std::size_t>(std::atoi(argv[6])) : 16,
+                     argc > 7 ? argv[7] : "");
   }
   if (command == "workload" && argc >= 6) {
     return cmd_workload(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
