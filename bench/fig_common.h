@@ -1,28 +1,33 @@
 // Shared driver for the §5 figure benches: runs the paper's workload grid
-// (structure x n x W) on the psim machine and renders the series the paper
-// plots. Figures 5/6 differ only in F.
+// (structure x n x W) through the unified run:: harness and renders the
+// series the paper plots. Figures 5/6 differ only in F.
+//
+// All backend construction and workload generation lives in src/run; this
+// header only owns the grid axes and the table/CSV rendering.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "psim/machine.h"
-#include "topo/builders.h"
+#include "run/backend.h"
+#include "run/runner.h"
 #include "util/table.h"
 
 namespace cnet::bench {
 
-inline const std::vector<std::uint32_t>& concurrency_axis() {
-  static const std::vector<std::uint32_t> axis = {4, 16, 64, 128, 256};
-  return axis;
-}
+// Namespace-scope constants instead of statics inside inline functions:
+// every TU that included the old accessors ran a guarded initializer on
+// first call, and any static-init-order consumer saw an empty axis.
+inline constexpr std::uint32_t kConcurrencyAxis[] = {4, 16, 64, 128, 256};
+inline constexpr psim::Cycle kWaitAxis[] = {100, 1000, 10000, 100000};
 
-inline const std::vector<psim::Cycle>& wait_axis() {
-  static const std::vector<psim::Cycle> axis = {100, 1000, 10000, 100000};
-  return axis;
-}
+inline std::span<const std::uint32_t> concurrency_axis() { return kConcurrencyAxis; }
+inline std::span<const psim::Cycle> wait_axis() { return kWaitAxis; }
 
 struct CellResult {
   double nonlinearizable_fraction = 0.0;
@@ -32,18 +37,18 @@ struct CellResult {
 
 inline CellResult run_cell(bool diffracting, std::uint32_t n, psim::Cycle wait, double fraction,
                            std::uint64_t ops, std::uint64_t seed) {
-  static const topo::Network bitonic = topo::make_bitonic(32);
-  static const topo::Network tree = topo::make_counting_tree(32);
-  psim::MachineParams params;
-  params.processors = n;
-  params.total_ops = ops;
-  params.delayed_fraction = fraction;
-  params.wait_cycles = wait;
-  params.seed = seed;
-  params.use_diffraction = diffracting;
-  const psim::MachineResult result =
-      psim::run_workload(diffracting ? tree : bitonic, params);
-  return CellResult{result.analysis.fraction(), result.avg_tog, result.avg_c2_over_c1};
+  const std::unique_ptr<run::CountingBackend> backend =
+      run::make_backend(run::parse_spec_or_die(
+          diffracting ? "psim:tree:32?diffraction=on" : "psim:bitonic:32"));
+  run::Workload workload;
+  workload.threads = n;
+  workload.total_ops = ops;
+  workload.delayed_fraction = fraction;
+  workload.wait = wait;
+  workload.seed = seed;
+  run::Runner runner;
+  const run::RunReport report = runner.run(*backend, workload);
+  return CellResult{report.analysis.fraction(), report.avg_tog, report.avg_c2_over_c1};
 }
 
 /// The full figure grid, indexed [diffracting][wait index][n index].

@@ -6,43 +6,45 @@
 // operations per 1000 simulated cycles.
 //
 // This complements throughput_rt, which measures the same structures on the
-// host hardware (and is limited by the host's core count).
+// host hardware (and is limited by the host's core count). All three
+// configurations are spec strings through the run:: harness — this file
+// contains no backend construction of its own.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <string>
 
-#include "psim/machine.h"
-#include "topo/builders.h"
+#include "run/backend.h"
+#include "run/runner.h"
 #include "util/table.h"
 
 int main() {
   using namespace cnet;
 
-  const topo::Network central = topo::make_balancer(1);  // 1x1 node + one counter
-  const topo::Network bitonic = topo::make_bitonic(32);
-  const topo::Network tree = topo::make_counting_tree(32);
-
   std::printf("Simulated-machine throughput (ops per 1000 cycles), 5000 ops per run\n\n");
 
   Table table({"n", "central MCS", "Bitonic[32]", "Tree[32] (prisms)", "tree/central"});
   for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    // Saturation workload for the tree: size the root prism to the arrival
+    // rate (~n/8 slots) rather than the delay-workload default.
+    const std::string specs[3] = {
+        "psim:balancer:1",  // 1x1 node + one counter
+        "psim:bitonic:32",
+        "psim:tree:32?diffraction=on&prism=" + std::to_string(std::max(2u, n / 8)),
+    };
+    run::Workload workload;
+    workload.threads = n;
+    workload.total_ops = 5000;
+    workload.seed = 42;
     double throughput[3] = {};
-    int idx = 0;
-    for (const topo::Network* net : {&central, &bitonic, &tree}) {
-      psim::MachineParams params;
-      params.processors = n;
-      params.total_ops = 5000;
-      params.delayed_fraction = 0.0;
-      params.wait_cycles = 0;
-      params.seed = 42;
-      params.use_diffraction = (net == &tree);
-      if (params.use_diffraction) {
-        // Saturation workload: size the root prism to the arrival rate
-        // (~n/8 slots) rather than the delay-workload default.
-        params.prism.width = std::max(2u, n / 8);
-      }
-      const psim::MachineResult result = psim::run_workload(*net, params);
-      throughput[idx++] = 1000.0 * static_cast<double>(result.history.size()) /
-                          static_cast<double>(result.makespan);
+    for (int idx = 0; idx < 3; ++idx) {
+      const std::unique_ptr<run::CountingBackend> backend =
+          run::make_backend(run::parse_spec_or_die(specs[idx]));
+      run::Runner runner;
+      const run::RunReport report = runner.run(*backend, workload);
+      throughput[idx] =
+          1000.0 * static_cast<double>(report.history.size()) / report.makespan;
     }
     table.add_row({std::to_string(n), Table::num(throughput[0], 2),
                    Table::num(throughput[1], 2), Table::num(throughput[2], 2),

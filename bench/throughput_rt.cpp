@@ -10,16 +10,20 @@
 // framework invokes on the main thread before any benchmark thread starts —
 // rebuilding inside the body under `state.thread_index() == 0` raced with
 // non-zero threads already entering the measurement loop.
+//
+// Every network configuration is a BackendSpec string through the run::
+// harness; this file contains no backend construction of its own. The two
+// baselines (central atomic, MCS-locked) stay hand-rolled — they are the
+// non-network reference points.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "rt/diffracting_tree.h"
 #include "rt/mcs_lock.h"
-#include "rt/network_counter.h"
-#include "topo/builders.h"
+#include "run/backend.h"
 
 namespace {
 
@@ -65,34 +69,38 @@ BENCHMARK(BM_McsLockedCounter)->Setup(setup_mcs_locked)->ThreadRange(1, 8)->UseR
 
 // --- counting networks --------------------------------------------------
 
-std::unique_ptr<rt::NetworkCounter> g_network_counter;
-std::unique_ptr<rt::DiffractingTree> g_tree;
+std::unique_ptr<run::CountingBackend> g_backend;
 
-void teardown_network_counter(const benchmark::State&) { g_network_counter.reset(); }
-void teardown_tree(const benchmark::State&) { g_tree.reset(); }
+void teardown_backend(const benchmark::State&) { g_backend.reset(); }
 
-rt::CounterOptions engine_options(rt::ExecutionEngine engine) {
-  rt::CounterOptions options;
-  options.engine = engine;
-  return options;
+void rebuild_backend(const std::string& spec_text) {
+  g_backend = run::make_backend(run::parse_spec_or_die(spec_text));
 }
 
 void setup_bitonic_plan(const benchmark::State& state) {
-  g_network_counter = std::make_unique<rt::NetworkCounter>(
-      topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))),
-      engine_options(rt::ExecutionEngine::kCompiledPlan));
+  rebuild_backend("rt:bitonic:" + std::to_string(state.range(0)));
 }
 
 void setup_bitonic_graph_walk(const benchmark::State& state) {
-  g_network_counter = std::make_unique<rt::NetworkCounter>(
-      topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))),
-      engine_options(rt::ExecutionEngine::kGraphWalk));
+  rebuild_backend("rt:bitonic:" + std::to_string(state.range(0)) + "?engine=walk");
+}
+
+void setup_bitonic_mcs(const benchmark::State& state) {
+  rebuild_backend("rt:bitonic:" + std::to_string(state.range(0)) + "?mcs");
+}
+
+void setup_periodic_plan(const benchmark::State& state) {
+  rebuild_backend("rt:periodic:" + std::to_string(state.range(0)));
+}
+
+void setup_tree(const benchmark::State& state) {
+  rebuild_backend("rt:tree:" + std::to_string(state.range(0)) + "?diffraction=on");
 }
 
 void run_single_token_body(benchmark::State& state) {
   const auto tid = static_cast<std::uint32_t>(state.thread_index());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(g_network_counter->next(tid));
+    benchmark::DoNotOptimize(g_backend->count(tid));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -101,7 +109,7 @@ void run_single_token_body(benchmark::State& state) {
 void BM_BitonicFetchAdd(benchmark::State& state) { run_single_token_body(state); }
 BENCHMARK(BM_BitonicFetchAdd)
     ->Setup(setup_bitonic_plan)
-    ->Teardown(teardown_network_counter)
+    ->Teardown(teardown_backend)
     ->Arg(8)
     ->Arg(32)
     ->ThreadRange(1, 8)
@@ -112,73 +120,50 @@ BENCHMARK(BM_BitonicFetchAdd)
 void BM_BitonicGraphWalk(benchmark::State& state) { run_single_token_body(state); }
 BENCHMARK(BM_BitonicGraphWalk)
     ->Setup(setup_bitonic_graph_walk)
-    ->Teardown(teardown_network_counter)
+    ->Teardown(teardown_backend)
     ->Arg(8)
     ->Arg(32)
     ->ThreadRange(1, 8)
     ->UseRealTime();
 
-/// Batched plan API: range(1) tokens per next_batch call.
+/// Batched plan API: range(1) tokens per count_batch call.
 void BM_BitonicFetchAddBatch(benchmark::State& state) {
   const auto tid = static_cast<std::uint32_t>(state.thread_index());
-  const auto input = tid % g_network_counter->network().input_width();
   std::vector<std::uint64_t> values(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
-    g_network_counter->next_batch(tid, input, values);
+    g_backend->count_batch(tid, values);
     benchmark::DoNotOptimize(values.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(1));
 }
 BENCHMARK(BM_BitonicFetchAddBatch)
     ->Setup(setup_bitonic_plan)
-    ->Teardown(teardown_network_counter)
+    ->Teardown(teardown_backend)
     ->Args({32, 16})
     ->Args({32, 64})
     ->ThreadRange(1, 8)
     ->UseRealTime();
 
-void setup_bitonic_mcs(const benchmark::State& state) {
-  rt::CounterOptions options;
-  options.mode = rt::BalancerMode::kMcsLocked;
-  g_network_counter = std::make_unique<rt::NetworkCounter>(
-      topo::make_bitonic(static_cast<std::uint32_t>(state.range(0))), options);
-}
-
 void BM_BitonicMcsBalancers(benchmark::State& state) { run_single_token_body(state); }
 BENCHMARK(BM_BitonicMcsBalancers)
     ->Setup(setup_bitonic_mcs)
-    ->Teardown(teardown_network_counter)
+    ->Teardown(teardown_backend)
     ->Arg(32)
     ->ThreadRange(1, 8)
     ->UseRealTime();
 
-void setup_periodic_plan(const benchmark::State& state) {
-  g_network_counter = std::make_unique<rt::NetworkCounter>(
-      topo::make_periodic(static_cast<std::uint32_t>(state.range(0))));
-}
-
 void BM_Periodic(benchmark::State& state) { run_single_token_body(state); }
 BENCHMARK(BM_Periodic)
     ->Setup(setup_periodic_plan)
-    ->Teardown(teardown_network_counter)
+    ->Teardown(teardown_backend)
     ->Arg(16)
     ->ThreadRange(1, 8)
     ->UseRealTime();
 
-void setup_tree(const benchmark::State& state) {
-  g_tree = std::make_unique<rt::DiffractingTree>(static_cast<std::uint32_t>(state.range(0)));
-}
-
-void BM_DiffractingTree(benchmark::State& state) {
-  const auto tid = static_cast<std::uint32_t>(state.thread_index());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(g_tree->next(tid));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
+void BM_DiffractingTree(benchmark::State& state) { run_single_token_body(state); }
 BENCHMARK(BM_DiffractingTree)
     ->Setup(setup_tree)
-    ->Teardown(teardown_tree)
+    ->Teardown(teardown_backend)
     ->Arg(32)
     ->ThreadRange(1, 8)
     ->UseRealTime();

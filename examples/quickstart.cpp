@@ -1,26 +1,31 @@
 // Quickstart: a scalable shared counter in a dozen lines.
 //
-// Eight threads draw 10,000 values each from a width-32 bitonic counting
-// network; the program then verifies that exactly the values 0..79999 were
-// handed out, each precisely once — no locks on the hot path, no central
-// bottleneck.
+// The whole configuration is one spec string — `rt:bitonic:32` names the
+// real-thread backend and a width-32 bitonic counting network (grammar in
+// docs/HARNESS.md). Eight threads draw 10,000 values each; the program then
+// verifies that exactly the values 0..79999 were handed out, each precisely
+// once — no locks on the hot path, no central bottleneck.
 //
 //   $ ./examples/quickstart
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
-#include "core/counting_network.h"
+#include "run/backend.h"
 
 int main() {
   constexpr unsigned kThreads = 8;
   constexpr int kPerThread = 10000;
 
-  cnet::SharedCounter::Config config;
-  config.topology = cnet::Topology::kBitonic;
-  config.width = 32;
-  cnet::SharedCounter counter(config);
+  std::string error;
+  const std::unique_ptr<cnet::run::CountingBackend> counter =
+      cnet::run::make_backend("rt:bitonic:32", &error);
+  if (counter == nullptr) {
+    std::printf("bad spec: %s\n", error.c_str());
+    return 2;
+  }
 
   std::vector<std::vector<std::uint64_t>> drawn(kThreads);
   {
@@ -28,7 +33,7 @@ int main() {
     for (unsigned t = 0; t < kThreads; ++t) {
       threads.emplace_back([&counter, &mine = drawn[t], t] {
         mine.reserve(kPerThread);
-        for (int i = 0; i < kPerThread; ++i) mine.push_back(counter.next(t));
+        for (int i = 0; i < kPerThread; ++i) mine.push_back(counter->count(t));
       });
     }
   }
@@ -46,6 +51,6 @@ int main() {
   std::printf("OK: %zu values drawn by %u threads, every value 0..%zu exactly once\n",
               all.size(), kThreads, all.size() - 1);
   std::printf("network: %s, depth %u (a central counter would serialize all %zu ops)\n",
-              counter.network().name().c_str(), counter.network().depth(), all.size());
+              counter->network().name().c_str(), counter->network().depth(), all.size());
   return 0;
 }

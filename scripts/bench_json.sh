@@ -39,6 +39,23 @@ with open(out, "w") as f:
 EOF
 echo "wrote $out ($(python3 -c "import json;print(len(json.load(open('$out'))['benchmarks']))") benchmarks)"
 
+# Key guard: downstream dashboards join on benchmark names, so a rename in
+# throughput_rt (e.g. during a harness refactor) must fail loudly here
+# rather than silently dropping a series.
+python3 - "$out" <<'EOF'
+import json, sys
+required = [
+    "BM_CentralAtomic", "BM_McsLockedCounter", "BM_BitonicFetchAdd",
+    "BM_BitonicGraphWalk", "BM_BitonicFetchAddBatch", "BM_BitonicMcsBalancers",
+    "BM_Periodic", "BM_DiffractingTree",
+]
+with open(sys.argv[1]) as f:
+    names = {b["name"] for b in json.load(f)["benchmarks"]}
+missing = [r for r in required if not any(n.startswith(r) for n in names)]
+if missing:
+    sys.exit(f"benchmark series missing from {sys.argv[1]}: {', '.join(missing)}")
+EOF
+
 build/bench/obs_overhead \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json >"$obs_out"

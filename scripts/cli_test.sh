@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Shell-level contract test for cnet_cli: usage text, exit codes, and the
+# spec-driven commands. Run via ctest (cli_shell_test) with CNET_CLI set to
+# the built binary, or standalone:
+#
+#   CNET_CLI=build/tools/cnet_cli scripts/cli_test.sh
+set -u
+
+CLI="${CNET_CLI:?set CNET_CLI to the cnet_cli binary}"
+failures=0
+
+check() {
+  local desc="$1"; shift
+  if "$@" > /dev/null 2>&1; then
+    echo "ok: $desc"
+  else
+    echo "FAIL: $desc (command: $*)" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+check_rc() {
+  local desc="$1" want="$2"; shift 2
+  "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -eq "$want" ]; then
+    echo "ok: $desc (exit $got)"
+  else
+    echo "FAIL: $desc — expected exit $want, got $got (command: $*)" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+check_output() {
+  local desc="$1" pattern="$2"; shift 2
+  if "$@" 2>&1 | grep -q "$pattern"; then
+    echo "ok: $desc"
+  else
+    echo "FAIL: $desc — output lacks '$pattern' (command: $*)" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# --- usage covers every command, and usage errors exit 2 -------------------
+for cmd in info dot verify simulate workload exhaustive run count stats; do
+  check_output "usage mentions '$cmd'" "cnet_cli $cmd" "$CLI"
+done
+check_rc "no arguments is a usage error" 2 "$CLI"
+check_rc "unknown command is a usage error" 2 "$CLI" frobnicate bitonic 8
+check_rc "malformed spec exits 2" 2 "$CLI" run "bogus:bitonic:8"
+check_rc "degenerate width exits 2" 2 "$CLI" run "rt:bitonic:1"
+check_rc "unknown workload key exits 2" 2 "$CLI" run "rt:bitonic:8" banana=1
+check_output "spec diagnostics echo the spec" "bogus:bitonic:8" \
+  "$CLI" run "bogus:bitonic:8"
+
+# --- spec-driven run on every family ---------------------------------------
+for spec in "sim:bitonic:8" "psim:bitonic:8" "rt:bitonic:8" "mp:bitonic:8?actors=2"; do
+  check "run $spec" "$CLI" run "$spec" threads=2 ops=200 seed=5
+done
+check_output "run report prints the canonical spec" "rt:bitonic:8?engine=walk" \
+  "$CLI" run "rt:bitonic:8?engine=walk" threads=2 ops=100
+check "run with poisson arrivals" "$CLI" run "sim:bitonic:8" arrival=poisson rate=2 ops=100
+check_rc "psim rejects open-loop arrivals" 2 "$CLI" run "psim:bitonic:8" arrival=poisson rate=2
+
+# --- count/verify accept both forms ----------------------------------------
+check "count, positional form" "$CLI" count bitonic 8 2 1000
+check "count, spec form" "$CLI" count "rt:bitonic:8?engine=walk" 2 1000
+check "verify, positional form" "$CLI" verify bitonic 8 50
+check "verify, spec form" "$CLI" verify "sim:periodic:8" 50
+check_rc "count with unknown engine exits 2" 2 "$CLI" count bitonic 8 2 1000 8 turbo
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures check(s) failed" >&2
+  exit 1
+fi
+echo "all cnet_cli shell checks passed"

@@ -1,0 +1,325 @@
+#include "run/backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/delay_model.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace cnet::run {
+namespace {
+
+void busy_wait_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // burn — the paper's W is busy time, not blocked time
+  }
+}
+
+struct WaitCtx {
+  std::uint64_t wait_ns;
+};
+
+void after_node_wait(void* ctx) { busy_wait_ns(static_cast<WaitCtx*>(ctx)->wait_ns); }
+
+rt::CounterOptions rt_options(const BackendSpec& spec, obs::CounterMetrics* metrics) {
+  rt::CounterOptions options;
+  options.mode = spec.mcs ? rt::BalancerMode::kMcsLocked : rt::BalancerMode::kFetchAdd;
+  options.diffraction = spec.diffraction;
+  options.prism_width = spec.prism_width;
+  options.max_threads = spec.max_threads;
+  options.engine =
+      spec.engine_walk ? rt::ExecutionEngine::kGraphWalk : rt::ExecutionEngine::kCompiledPlan;
+  options.metrics = metrics;
+  return options;
+}
+
+mp::NetworkService::Options mp_options(const BackendSpec& spec, obs::MpMetrics* metrics) {
+  mp::NetworkService::Options options;
+  options.workers = spec.actors;
+  options.metrics = metrics;
+  return options;
+}
+
+/// Adds the workload's per-node wait to the base link delay of tokens in
+/// the delayed set — the sim-family realization of the paper's F/W scheme
+/// (a delayed processor's extra W cycles per node are, in the §2 model,
+/// indistinguishable from a slower link).
+class DelayedLinkModel final : public sim::DelayModel {
+ public:
+  DelayedLinkModel(sim::DelayModel& base, const std::vector<char>& token_delayed, double wait)
+      : base_(base), token_delayed_(token_delayed), wait_(wait) {}
+
+  double link_delay(sim::TokenId token, std::uint32_t layer, Rng& rng) override {
+    const double base = base_.link_delay(token, layer, rng);
+    const bool delayed = token < token_delayed_.size() && token_delayed_[token] != 0;
+    return delayed ? base + wait_ : base;
+  }
+
+ private:
+  sim::DelayModel& base_;
+  const std::vector<char>& token_delayed_;
+  double wait_;
+};
+
+std::vector<std::uint64_t> split_ops(std::uint64_t total, std::uint32_t threads) {
+  std::vector<std::uint64_t> quota(threads, total / threads);
+  for (std::uint32_t t = 0; t < total % threads; ++t) ++quota[t];
+  return quota;
+}
+
+}  // namespace
+
+// --- base class -----------------------------------------------------------
+
+std::uint64_t CountingBackend::count(std::uint32_t) {
+  CNET_CHECK_MSG(false, "count() called on a simulated backend — use simulate()");
+  return 0;
+}
+
+void CountingBackend::count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) {
+  for (auto& value : out) value = count(thread_id);
+}
+
+std::uint64_t CountingBackend::count_delayed(std::uint32_t thread_id, std::uint64_t) {
+  // Backends that cannot reach inside a traversal run the plain operation;
+  // the Runner rejects workloads whose delay injection would be silent.
+  return count(thread_id);
+}
+
+SimulatedRun CountingBackend::simulate(const Workload&) {
+  CNET_CHECK_MSG(false, "simulate() called on a live backend — use the Runner");
+  return {};
+}
+
+void CountingBackend::register_metrics(obs::MetricsRegistry&) const {}
+
+// --- rt -------------------------------------------------------------------
+
+RtBackend::RtBackend(const BackendSpec& spec, obs::CounterMetrics* external_metrics)
+    : CountingBackend(spec),
+      owned_metrics_(external_metrics == nullptr && spec.metrics
+                         ? std::make_unique<obs::CounterMetrics>()
+                         : nullptr),
+      metrics_(external_metrics != nullptr ? external_metrics : owned_metrics_.get()),
+      counter_(spec.build_network(), rt_options(spec, metrics_)) {}
+
+std::uint64_t RtBackend::count(std::uint32_t thread_id) { return counter_.next(thread_id); }
+
+void RtBackend::count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) {
+  counter_.next_batch(thread_id, thread_id % network().input_width(), out);
+}
+
+std::uint64_t RtBackend::count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) {
+  if (wait_ns == 0) return count(thread_id);
+  WaitCtx ctx{wait_ns};
+  return counter_.next_hooked(thread_id, thread_id % network().input_width(), after_node_wait,
+                              &ctx);
+}
+
+void RtBackend::register_metrics(obs::MetricsRegistry& registry) const {
+  if (metrics_ != nullptr) metrics_->register_into(registry);
+}
+
+double RtBackend::c2c1_estimate() const {
+  return metrics_ != nullptr ? metrics_->c2c1_estimate() : 0.0;
+}
+
+// --- mp -------------------------------------------------------------------
+
+MpBackend::MpBackend(const BackendSpec& spec)
+    : CountingBackend(spec),
+      metrics_(spec.metrics ? std::make_unique<obs::MpMetrics>() : nullptr),
+      service_(spec.build_network(), mp_options(spec, metrics_.get())) {}
+
+std::uint64_t MpBackend::count(std::uint32_t thread_id) {
+  return service_.count(thread_id % network().input_width());
+}
+
+void MpBackend::register_metrics(obs::MetricsRegistry& registry) const {
+  if (metrics_ != nullptr) metrics_->register_into(registry);
+}
+
+// --- sim ------------------------------------------------------------------
+
+SimBackend::SimBackend(const BackendSpec& spec)
+    : CountingBackend(spec), net_(spec.build_network()) {}
+
+SimulatedRun SimBackend::simulate(const Workload& workload) {
+  SimulatedRun out;
+  const std::uint32_t threads = std::max(1u, workload.threads);
+  if (workload.arrival == Arrival::kPoisson && workload.rate <= 0.0) {
+    out.error = "poisson arrivals need rate > 0";
+    return out;
+  }
+  if (workload.arrival == Arrival::kBurst &&
+      (workload.burst_gap <= 0.0 || workload.burst_size == 0)) {
+    out.error = "burst arrivals need burst_gap > 0 and burst_size >= 1";
+    return out;
+  }
+
+  std::unique_ptr<sim::DelayModel> base;
+  if (spec_.delay == DelayKind::kFixed) {
+    base = std::make_unique<sim::FixedDelay>(spec_.c1);
+  } else {
+    base = std::make_unique<sim::UniformDelay>(spec_.c1, spec_.c2);
+  }
+
+  // token -> issuing actor and delayed flag, appended at injection time.
+  std::vector<std::uint32_t> token_actor;
+  std::vector<char> token_delayed;
+  const double wait = static_cast<double>(workload.wait);
+  DelayedLinkModel model(*base, token_delayed, wait);
+  sim::Simulator simulator(net_, model, workload.seed);
+
+  const std::uint32_t inputs = net_.input_width();
+  const std::uint64_t total = workload.total_ops;
+
+  if (workload.arrival == Arrival::kClosed) {
+    // Virtual closed loop: `threads` issuers re-enter as soon as their
+    // previous token exits. Completion is polled by advancing the clock in
+    // c1-sized steps (the minimum link time), so a re-entry lags a real
+    // exit by at most one step.
+    const auto n_delayed = static_cast<std::uint32_t>(
+        std::lround(workload.delayed_fraction * static_cast<double>(threads)));
+    std::vector<std::uint64_t> quota = split_ops(total, threads);
+    std::vector<sim::TokenId> current(threads, 0);
+    std::vector<char> active(threads, 0);
+    std::uint64_t in_flight = 0;
+
+    const auto launch = [&](std::uint32_t thread, double time) {
+      token_actor.push_back(thread);
+      token_delayed.push_back(thread < n_delayed ? 1 : 0);
+      current[thread] = simulator.inject(thread % inputs, time);
+      active[thread] = 1;
+      --quota[thread];
+      ++in_flight;
+    };
+
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      if (quota[t] != 0) launch(t, 0.0);
+    }
+    const double step = spec_.c1;
+    while (in_flight != 0) {
+      simulator.run_until(simulator.now() + step);
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        if (active[t] != 0 && simulator.token(current[t]).done) {
+          active[t] = 0;
+          --in_flight;
+          if (quota[t] != 0) launch(t, simulator.now());
+        }
+      }
+    }
+  } else if (workload.arrival == Arrival::kPoisson) {
+    Rng arrivals(workload.seed);
+    double time = 0.0;
+    const double mean_gap = 1.0 / workload.rate;
+    for (std::uint64_t i = 0; i < total; ++i) {
+      token_actor.push_back(static_cast<std::uint32_t>(i % threads));
+      token_delayed.push_back(arrivals.chance(workload.delayed_fraction) ? 1 : 0);
+      simulator.inject(static_cast<std::uint32_t>(i % inputs), time);
+      time += -mean_gap * std::log(1.0 - arrivals.unit());
+    }
+    simulator.run();
+  } else {  // Arrival::kBurst
+    Rng arrivals(workload.seed);
+    const std::uint64_t per_burst =
+        static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(workload.burst_size);
+    std::uint64_t injected = 0;
+    for (std::uint64_t burst = 0; injected < total; ++burst) {
+      const double time = static_cast<double>(burst) * workload.burst_gap;
+      const std::uint64_t count = std::min<std::uint64_t>(per_burst, total - injected);
+      for (std::uint64_t i = 0; i < count; ++i, ++injected) {
+        token_actor.push_back(static_cast<std::uint32_t>(injected % threads));
+        token_delayed.push_back(arrivals.chance(workload.delayed_fraction) ? 1 : 0);
+        simulator.inject(static_cast<std::uint32_t>(injected % inputs), time);
+      }
+    }
+    simulator.run();
+  }
+  simulator.run();  // flush anything still queued past the last poll step
+
+  out.history.reserve(simulator.tokens().size());
+  for (std::size_t i = 0; i < simulator.tokens().size(); ++i) {
+    const sim::TokenRecord& token = simulator.tokens()[i];
+    lin::Operation op;
+    op.start = token.enter_time;
+    op.end = token.exit_time;
+    op.value = token.value;
+    op.actor = token_actor[i];
+    out.history.push_back(op);
+    out.makespan = std::max(out.makespan, token.exit_time);
+  }
+  out.ok = true;
+  return out;
+}
+
+// --- psim -----------------------------------------------------------------
+
+PsimBackend::PsimBackend(const BackendSpec& spec)
+    : CountingBackend(spec),
+      metrics_(spec.metrics ? std::make_unique<obs::PsimMetrics>() : nullptr),
+      net_(spec.build_network()) {}
+
+SimulatedRun PsimBackend::simulate(const Workload& workload) {
+  SimulatedRun out;
+  if (workload.arrival != Arrival::kClosed) {
+    out.error = "psim supports only the closed-loop arrival process "
+                "(its processors are the issuers)";
+    return out;
+  }
+  psim::MachineParams params;
+  params.processors = spec_.procs != 0 ? spec_.procs : std::max(1u, workload.threads);
+  params.total_ops = workload.total_ops;
+  params.delayed_fraction = workload.delayed_fraction;
+  params.wait_cycles = workload.wait;
+  params.seed = workload.seed;
+  params.hop_cycles = spec_.hop_cycles;
+  params.use_diffraction = spec_.diffraction;
+  params.prism.width = spec_.prism_width;
+  params.metrics = metrics_.get();
+
+  psim::MachineResult result = psim::run_workload(net_, params);
+  out.history = std::move(result.history);
+  out.makespan = static_cast<double>(result.makespan);
+  out.avg_tog = result.avg_tog;
+  out.avg_c2_over_c1 = result.avg_c2_over_c1;
+  out.ok = true;
+  return out;
+}
+
+void PsimBackend::register_metrics(obs::MetricsRegistry& registry) const {
+  if (metrics_ != nullptr) metrics_->register_into(registry);
+}
+
+double PsimBackend::c2c1_estimate() const {
+  return metrics_ != nullptr ? metrics_->c2c1_estimate() : 0.0;
+}
+
+// --- factory --------------------------------------------------------------
+
+std::unique_ptr<CountingBackend> make_backend(const BackendSpec& spec) {
+  switch (spec.family) {
+    case Family::kRt: return std::make_unique<RtBackend>(spec);
+    case Family::kMp: return std::make_unique<MpBackend>(spec);
+    case Family::kSim: return std::make_unique<SimBackend>(spec);
+    case Family::kPsim: return std::make_unique<PsimBackend>(spec);
+  }
+  CNET_CHECK_MSG(false, "unreachable backend family");
+  return nullptr;
+}
+
+std::unique_ptr<CountingBackend> make_backend(std::string_view spec_text, std::string* error) {
+  BackendSpec spec;
+  if (!parse_spec(spec_text, &spec, error)) return nullptr;
+  return make_backend(spec);
+}
+
+}  // namespace cnet::run

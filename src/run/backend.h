@@ -1,0 +1,179 @@
+// CountingBackend: one interface over the four execution backends, built
+// from a BackendSpec. Two execution styles share it:
+//
+//   * live backends (rt, mp) execute individual operations on the caller's
+//     threads — count()/count_batch()/count_delayed(); the Runner drives
+//     them with real-thread load generators and wall-clock timestamps.
+//   * simulated backends (sim, psim) execute a whole Workload in virtual
+//     time — simulate() returns the finished history and makespan.
+//
+// Adapters own their backend instance (and its obs sink when the spec asks
+// for metrics); a fresh backend starts counting at 0, so one backend per
+// measured run keeps histories checkable by lin::values_form_range.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "lin/history.h"
+#include "mp/network_service.h"
+#include "obs/backend_metrics.h"
+#include "obs/registry.h"
+#include "psim/machine.h"
+#include "rt/network_counter.h"
+#include "run/backend_spec.h"
+#include "run/workload.h"
+#include "topo/network.h"
+
+namespace cnet::run {
+
+/// What a simulated backend hands back from one Workload execution.
+struct SimulatedRun {
+  bool ok = false;
+  std::string error;  ///< set when !ok (e.g. unsupported arrival process)
+  lin::History history;
+  double makespan = 0.0;  ///< virtual time of the last completion
+  // psim extras (0 elsewhere):
+  double avg_tog = 0.0;         ///< mean toggle wait (cycles)
+  double avg_c2_over_c1 = 0.0;  ///< the paper's (Tog + W)/Tog
+};
+
+class CountingBackend {
+ public:
+  virtual ~CountingBackend() = default;
+  CountingBackend(const CountingBackend&) = delete;
+  CountingBackend& operator=(const CountingBackend&) = delete;
+
+  const BackendSpec& spec() const { return spec_; }
+  virtual const topo::Network& network() const = 0;
+
+  /// True for rt and mp: operations run on caller threads. False for sim
+  /// and psim: the whole workload runs in virtual time via simulate().
+  virtual bool live() const = 0;
+
+  /// The unit of every time in this backend's histories and reports.
+  virtual const char* time_unit() const = 0;
+
+  // -- live backends only (CHECK-fails on simulated ones) --------------
+  /// One counting operation. `thread_id` must be unique among concurrent
+  /// callers (and < spec().max_threads on rt).
+  virtual std::uint64_t count(std::uint32_t thread_id);
+  /// Claims out.size() values in one call (batched where the backend can).
+  virtual void count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out);
+  /// As count(), busy-waiting `wait_ns` after every node traversal — the
+  /// paper's W injection. Backends that cannot reach inside a traversal
+  /// (mp) fall back to plain count(); the Runner rejects such workloads.
+  virtual std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns);
+
+  // -- simulated backends only (CHECK-fails on live ones) --------------
+  virtual SimulatedRun simulate(const Workload& workload);
+
+  // -- observability ----------------------------------------------------
+  /// Registers this backend's obs sink (if the spec enabled one).
+  virtual void register_metrics(obs::MetricsRegistry& registry) const;
+  /// Online c2/c1 estimate from the obs sink; 0 when no sink is attached.
+  virtual double c2c1_estimate() const { return 0.0; }
+
+ protected:
+  explicit CountingBackend(BackendSpec spec) : spec_(std::move(spec)) {}
+  BackendSpec spec_;
+};
+
+/// rt::NetworkCounter on the caller's threads. An external obs sink may be
+/// passed (borrowed, pre-tuned — cnet_cli stats does this); otherwise the
+/// spec's `metrics` flag selects an internally owned sink.
+class RtBackend final : public CountingBackend {
+ public:
+  explicit RtBackend(const BackendSpec& spec, obs::CounterMetrics* external_metrics = nullptr);
+
+  const topo::Network& network() const override { return counter_.network(); }
+  bool live() const override { return true; }
+  const char* time_unit() const override { return "ns"; }
+
+  std::uint64_t count(std::uint32_t thread_id) override;
+  void count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) override;
+  std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) override;
+
+  void register_metrics(obs::MetricsRegistry& registry) const override;
+  double c2c1_estimate() const override;
+
+  /// The executor itself, for embedders that outgrow the interface.
+  rt::NetworkCounter& counter() { return counter_; }
+  /// The attached sink (owned or external); null when metrics are off.
+  obs::CounterMetrics* metrics() const { return metrics_; }
+
+ private:
+  std::unique_ptr<obs::CounterMetrics> owned_metrics_;
+  obs::CounterMetrics* metrics_ = nullptr;
+  rt::NetworkCounter counter_;
+};
+
+/// mp::NetworkService (actor per balancer) behind the live interface.
+class MpBackend final : public CountingBackend {
+ public:
+  explicit MpBackend(const BackendSpec& spec);
+
+  const topo::Network& network() const override { return service_.network(); }
+  bool live() const override { return true; }
+  const char* time_unit() const override { return "ns"; }
+
+  std::uint64_t count(std::uint32_t thread_id) override;
+
+  void register_metrics(obs::MetricsRegistry& registry) const override;
+
+  mp::NetworkService& service() { return service_; }
+  obs::MpMetrics* metrics() const { return metrics_.get(); }
+
+ private:
+  std::unique_ptr<obs::MpMetrics> metrics_;
+  mp::NetworkService service_;
+};
+
+/// The §2 timing-model simulator: virtual-time execution of any arrival
+/// process, with the workload's delayed fraction injected as extra link time.
+class SimBackend final : public CountingBackend {
+ public:
+  explicit SimBackend(const BackendSpec& spec);
+
+  const topo::Network& network() const override { return net_; }
+  bool live() const override { return false; }
+  const char* time_unit() const override { return "units"; }
+
+  SimulatedRun simulate(const Workload& workload) override;
+
+ private:
+  topo::Network net_;
+};
+
+/// psim::run_workload behind the simulated interface (closed loop only —
+/// the machine's processors are the issuers).
+class PsimBackend final : public CountingBackend {
+ public:
+  explicit PsimBackend(const BackendSpec& spec);
+
+  const topo::Network& network() const override { return net_; }
+  bool live() const override { return false; }
+  const char* time_unit() const override { return "cycles"; }
+
+  SimulatedRun simulate(const Workload& workload) override;
+
+  void register_metrics(obs::MetricsRegistry& registry) const override;
+  double c2c1_estimate() const override;
+  obs::PsimMetrics* metrics() const { return metrics_.get(); }
+
+ private:
+  std::unique_ptr<obs::PsimMetrics> metrics_;
+  topo::Network net_;
+};
+
+/// Builds the adapter a validated spec names. Never fails for a spec that
+/// came out of parse_spec().
+std::unique_ptr<CountingBackend> make_backend(const BackendSpec& spec);
+
+/// Parse + build in one step; returns null and sets `*error` on a bad spec.
+std::unique_ptr<CountingBackend> make_backend(std::string_view spec_text, std::string* error);
+
+}  // namespace cnet::run

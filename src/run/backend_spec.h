@@ -1,0 +1,114 @@
+// BackendSpec: one string names a backend family, a topology, and every
+// knob the backend needs — the construction half of the unified workload
+// harness (see docs/HARNESS.md for the full grammar and option catalogue).
+//
+//   <family>:<structure>:<width>[?opt[&opt]...]      opt := key[=value]
+//
+//   rt:bitonic:32?engine=plan&diffraction=on   real threads & atomics
+//   psim:tree:64?mcs&procs=128                 cycle-level multiprocessor
+//   sim:periodic:16?c1=1&c2=3&model=uniform    the §2 timing model
+//   mp:bitonic:8?actors=4                      actor-per-balancer service
+//
+// Parsing never aborts: every malformed spec — unknown family, degenerate
+// width (0, 1, non-power-of-two), unknown or ill-typed option, an option
+// that does not apply to the family — comes back as a parse error that
+// echoes the offending spec, so CLI users and config files get diagnostics
+// instead of CNET_CHECK aborts from deep inside topo::builders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "topo/network.h"
+
+namespace cnet::run {
+
+enum class Family : std::uint8_t {
+  kSim,   ///< event-level timing simulator (sim::Simulator)
+  kPsim,  ///< deterministic cycle-level multiprocessor (psim::run_workload)
+  kRt,    ///< real threads & atomics (rt::NetworkCounter)
+  kMp,    ///< actor-per-balancer message passing (mp::NetworkService)
+};
+
+enum class Structure : std::uint8_t {
+  kBitonic,   ///< Bitonic[w] — width a power of two >= 2
+  kPeriodic,  ///< Periodic[w] — width a power of two >= 2
+  kTree,      ///< counting tree — width (leaves) a power of two >= 2
+  kBalancer,  ///< single fan-in/fan-out-`width` node — width >= 1 (the
+              ///< central-counter baseline when width == 1)
+};
+
+const char* family_name(Family family);
+const char* structure_name(Structure structure);
+
+/// How the sim family draws link delays.
+enum class DelayKind : std::uint8_t {
+  kUniform,  ///< i.i.d. Uniform[c1, c2]
+  kFixed,    ///< every link takes exactly c1 (synchronous executions)
+};
+
+/// Parsed, validated description of one backend instance. Fields outside the
+/// family's section are ignored by the builders; the parser rejects options
+/// that do not apply to the named family so a spec string never silently
+/// drops a knob.
+struct BackendSpec {
+  Family family = Family::kRt;
+  Structure structure = Structure::kBitonic;
+  std::uint32_t width = 32;
+
+  // -- common ---------------------------------------------------------
+  /// Cor 3.12 input padding for ratio bound k (`pad=<k>`); 0 or 2 = none.
+  std::uint32_t pad_ratio = 0;
+  /// Attach the family's obs sink (`metrics` / `metrics=on`); rt, psim and
+  /// mp only — the sim family has no obs surface.
+  bool metrics = false;
+
+  // -- rt -------------------------------------------------------------
+  /// `engine=walk` selects the reference graph walk over the compiled plan.
+  bool engine_walk = false;
+  /// `mcs`: balancers as MCS critical sections (rt) / plain MCS toggles
+  /// explicitly instead of diffraction (psim).
+  bool mcs = false;
+  /// `diffraction[=on|off]`: prism diffraction on 1-in/2-out nodes (rt, psim).
+  bool diffraction = false;
+  /// `prism=<n>`: root prism slot count; 0 = the backend's auto sizing.
+  std::uint32_t prism_width = 0;
+  /// `threads=<n>`: upper bound on concurrent caller ids (rt only).
+  std::uint32_t max_threads = 256;
+
+  // -- psim -----------------------------------------------------------
+  /// `procs=<n>`: simulated processors; 0 = take Workload::threads.
+  std::uint32_t procs = 0;
+  /// `hop=<n>`: non-memory cycles between nodes.
+  std::uint32_t hop_cycles = 4;
+
+  // -- sim ------------------------------------------------------------
+  DelayKind delay = DelayKind::kUniform;  ///< `model=uniform|fixed`
+  double c1 = 1.0;                        ///< `c1=<t>` — fastest link time
+  double c2 = 2.0;                        ///< `c2=<t>` — slowest link time
+
+  // -- mp -------------------------------------------------------------
+  /// `actors=<n>`: worker threads draining the actor run queue.
+  std::uint32_t actors = 2;
+
+  /// Canonical spec string: parse(to_string()) reproduces this spec exactly
+  /// (options in fixed order, defaults omitted).
+  std::string to_string() const;
+
+  /// Builds the named topology (with Cor 3.12 padding applied when
+  /// pad_ratio > 2). The spec was validated at parse time, so this cannot
+  /// fail for a parsed spec; hand-rolled specs still get builder CHECKs.
+  topo::Network build_network() const;
+};
+
+/// Parses `text` into `*out`. On failure returns false and, when `error` is
+/// non-null, stores a one-line diagnostic that echoes the offending spec.
+/// `out` is left in an unspecified state on failure.
+bool parse_spec(std::string_view text, BackendSpec* out, std::string* error);
+
+/// For literal specs in benches and tests: parses or CNET_CHECK-fails with
+/// the parse diagnostic. User-supplied strings must go through parse_spec.
+BackendSpec parse_spec_or_die(std::string_view text);
+
+}  // namespace cnet::run

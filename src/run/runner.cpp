@@ -1,0 +1,260 @@
+#include "run/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "topo/validate.h"
+#include "util/rng.h"
+#include "util/spin.h"
+
+namespace cnet::run {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+std::vector<std::uint64_t> split_ops(std::uint64_t total, std::uint32_t threads) {
+  std::vector<std::uint64_t> quota(threads, total / threads);
+  for (std::uint32_t t = 0; t < total % threads; ++t) ++quota[t];
+  return quota;
+}
+
+/// One live issuer thread: runs its share of the workload against the
+/// backend, recording an Operation per claimed value.
+void live_issuer(CountingBackend& backend, const Workload& workload, std::uint32_t tid,
+                 std::uint64_t quota, bool delayed, std::uint64_t thread_seed,
+                 const std::atomic<bool>& go, Clock::time_point* t0, lin::History* ops) {
+  while (!go.load(std::memory_order_acquire)) {
+    cpu_relax();  // starting gun: all issuers ramp together
+  }
+  ops->reserve(quota);
+  const std::uint32_t batch = delayed ? 1 : std::max(1u, workload.batch);
+  std::vector<std::uint64_t> values(batch);
+
+  const auto issue_block = [&](std::uint64_t n) {
+    const double start = ns_since(*t0);
+    if (n == 1) {
+      values[0] = delayed ? backend.count_delayed(tid, workload.wait) : backend.count(tid);
+    } else {
+      backend.count_batch(tid, std::span<std::uint64_t>(values).first(n));
+    }
+    const double end = ns_since(*t0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ops->push_back(lin::Operation{start, end, values[i], tid});
+    }
+  };
+
+  if (workload.arrival == Arrival::kClosed) {
+    std::uint64_t remaining = quota;
+    while (remaining != 0) {
+      const std::uint64_t n = std::min<std::uint64_t>(batch, remaining);
+      issue_block(n);
+      remaining -= n;
+    }
+  } else if (workload.arrival == Arrival::kPoisson) {
+    // Aggregate rate split evenly: each issuer paces at rate/threads
+    // against the wall clock (rate is ops per second on live backends).
+    Rng gaps(thread_seed);
+    const double mean_gap_ns =
+        1e9 * static_cast<double>(std::max(1u, workload.threads)) / workload.rate;
+    double next_arrival = 0.0;
+    for (std::uint64_t i = 0; i < quota; ++i) {
+      next_arrival += -mean_gap_ns * std::log(1.0 - gaps.unit());
+      while (ns_since(*t0) < next_arrival) {
+        cpu_relax();
+      }
+      issue_block(1);
+    }
+  } else {  // Arrival::kBurst
+    std::uint64_t remaining = quota;
+    for (std::uint64_t burst = 0; remaining != 0; ++burst) {
+      const double target = static_cast<double>(burst) * workload.burst_gap;
+      while (ns_since(*t0) < target) {
+        cpu_relax();
+      }
+      std::uint64_t in_burst = std::min<std::uint64_t>(workload.burst_size, remaining);
+      remaining -= in_burst;
+      while (in_burst != 0) {
+        const std::uint64_t n = std::min<std::uint64_t>(batch, in_burst);
+        issue_block(n);
+        in_burst -= n;
+      }
+    }
+  }
+}
+
+RunReport reject(RunReport report, std::string why) {
+  report.ok = false;
+  report.error = std::move(why);
+  return report;
+}
+
+}  // namespace
+
+std::string Workload::to_string() const {
+  const char* kind = arrival == Arrival::kClosed    ? "closed"
+                     : arrival == Arrival::kPoisson ? "poisson"
+                                                    : "burst";
+  std::string s = kind;
+  s += " threads=" + std::to_string(threads);
+  s += " ops=" + std::to_string(total_ops);
+  if (batch > 1) s += " batch=" + std::to_string(batch);
+  if (arrival == Arrival::kPoisson) s += " rate=" + std::to_string(rate);
+  if (arrival == Arrival::kBurst) {
+    s += " burst=" + std::to_string(burst_size) + " gap=" + std::to_string(burst_gap);
+  }
+  if (delayed_fraction > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " f=%.2f", delayed_fraction);
+    s += buf;
+    s += " wait=" + std::to_string(wait);
+  }
+  s += " seed=" + std::to_string(seed);
+  return s;
+}
+
+RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
+  RunReport report;
+  report.spec = backend.spec();
+  report.workload = workload;
+  report.time_unit = backend.time_unit();
+
+  if (workload.threads == 0) return reject(std::move(report), "workload needs threads >= 1");
+  if (workload.delayed_fraction < 0.0 || workload.delayed_fraction > 1.0) {
+    return reject(std::move(report), "delayed_fraction must be in [0, 1]");
+  }
+  const Family family = backend.spec().family;
+  if (family == Family::kMp && workload.delayed_fraction > 0.0 && workload.wait > 0) {
+    return reject(std::move(report),
+                  "mp cannot inject per-node delays (clients cannot reach inside an actor hop)");
+  }
+  if (family == Family::kRt && workload.threads > backend.spec().max_threads) {
+    return reject(std::move(report),
+                  "workload threads exceed the spec's threads=" +
+                      std::to_string(backend.spec().max_threads) + " bound");
+  }
+
+  if (backend.live()) {
+    if (workload.arrival == Arrival::kPoisson && workload.rate <= 0.0) {
+      return reject(std::move(report), "poisson arrivals need rate > 0");
+    }
+    if (workload.arrival == Arrival::kBurst &&
+        (workload.burst_gap <= 0.0 || workload.burst_size == 0)) {
+      return reject(std::move(report), "burst arrivals need burst_gap > 0 and burst_size >= 1");
+    }
+    const std::uint32_t threads = workload.threads;
+    const auto n_delayed = static_cast<std::uint32_t>(
+        std::lround(workload.delayed_fraction * static_cast<double>(threads)));
+    const std::vector<std::uint64_t> quota = split_ops(workload.total_ops, threads);
+    std::vector<lin::History> per_thread(threads);
+
+    // Per-thread deterministic seeds for the Poisson pacers.
+    std::uint64_t seed_state = workload.seed;
+    std::vector<std::uint64_t> seeds(threads);
+    for (auto& seed : seeds) seed = splitmix64(seed_state);
+
+    std::atomic<bool> go{false};
+    Clock::time_point t0;
+    {
+      std::vector<std::jthread> issuers;
+      issuers.reserve(threads);
+      for (std::uint32_t tid = 0; tid < threads; ++tid) {
+        issuers.emplace_back(live_issuer, std::ref(backend), std::cref(workload), tid,
+                             quota[tid], tid < n_delayed, seeds[tid], std::cref(go), &t0,
+                             &per_thread[tid]);
+      }
+      t0 = Clock::now();
+      go.store(true, std::memory_order_release);
+    }
+    for (auto& ops : per_thread) {
+      report.history.insert(report.history.end(), ops.begin(), ops.end());
+    }
+    for (const lin::Operation& op : report.history) {
+      report.makespan = std::max(report.makespan, op.end);
+    }
+  } else {
+    SimulatedRun result = backend.simulate(workload);
+    if (!result.ok) return reject(std::move(report), std::move(result.error));
+    report.history = std::move(result.history);
+    report.makespan = result.makespan;
+    report.avg_tog = result.avg_tog;
+    report.avg_c2_over_c1 = result.avg_c2_over_c1;
+  }
+
+  // Uniform post-run analysis: Def 2.4, counting property, step property,
+  // latency/throughput, and the obs snapshot.
+  report.analysis = lin::check(report.history);
+  report.counting_ok = lin::values_form_range(report.history, &report.counting_message);
+  std::vector<std::uint64_t> per_output(backend.network().output_width(), 0);
+  for (const lin::Operation& op : report.history) {
+    ++per_output[op.value % per_output.size()];
+    report.op_latency.add(op.end - op.start);
+  }
+  report.step_ok = topo::has_step_property(per_output);
+  if (report.makespan > 0.0) {
+    report.throughput = static_cast<double>(report.history.size()) / report.makespan;
+  }
+  report.c2c1_estimate = backend.c2c1_estimate();
+  obs::MetricsRegistry registry;
+  backend.register_metrics(registry);
+  report.metrics = registry.snapshot();
+  report.ok = true;
+  return report;
+}
+
+std::string RunReport::to_text() const {
+  char buf[256];
+  std::string s;
+  if (!ok) {
+    s = "run rejected: " + error + "\n";
+    return s;
+  }
+  s += "spec     : " + spec.to_string() + "\n";
+  s += "workload : " + workload.to_string() + "\n";
+  std::snprintf(buf, sizeof buf, "ops      : %zu completed, values %s, step property %s\n",
+                history.size(), counting_ok ? "0..n-1 exactly once" : counting_message.c_str(),
+                step_ok ? "ok" : "VIOLATED");
+  s += buf;
+  std::snprintf(buf, sizeof buf,
+                "Def 2.4  : %llu non-linearizable of %llu (%.4f%%), worst inversion %llu\n",
+                static_cast<unsigned long long>(analysis.nonlinearizable_ops),
+                static_cast<unsigned long long>(analysis.total_ops),
+                analysis.fraction() * 100.0,
+                static_cast<unsigned long long>(analysis.worst_inversion));
+  s += buf;
+  std::snprintf(buf, sizeof buf, "makespan : %.0f %s\n", makespan, time_unit.c_str());
+  s += buf;
+  if (time_unit == "ns") {
+    std::snprintf(buf, sizeof buf, "rate     : %.3f M ops/s\n", throughput * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "rate     : %.3f ops per 1000 %s\n", throughput * 1e3,
+                  time_unit.c_str());
+  }
+  s += buf;
+  std::snprintf(buf, sizeof buf, "latency  : mean %.1f, min %.1f, max %.1f %s\n",
+                op_latency.mean(), op_latency.min(), op_latency.max(), time_unit.c_str());
+  s += buf;
+  if (avg_tog > 0.0) {
+    std::snprintf(buf, sizeof buf, "psim     : avg Tog %.1f cycles, (Tog+W)/Tog %.2f\n",
+                  avg_tog, avg_c2_over_c1);
+    s += buf;
+  }
+  if (c2c1_estimate > 0.0) {
+    std::snprintf(buf, sizeof buf, "c2/c1    : %.2f online estimate (Cor 3.9 needs <= 2)\n",
+                  c2c1_estimate);
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace cnet::run

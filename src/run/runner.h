@@ -1,0 +1,72 @@
+// Runner: executes any Workload on any CountingBackend and returns one
+// uniform RunReport — the measurement half of the unified harness.
+//
+// Live backends (rt, mp) get a real-thread load generator: closed-loop
+// issuers, Poisson arrivals paced against the wall clock, or periodic
+// bursts, with the delayed-thread subset busy-waiting the paper's W after
+// every node. Simulated backends (sim, psim) execute the workload in
+// virtual time via CountingBackend::simulate(). Either way the report
+// carries the full lin::History, the Def 2.4 analysis, the counting and
+// step-property checks, latency/throughput summaries, the backend's obs
+// snapshot, and the online c2/c1 estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lin/checker.h"
+#include "lin/history.h"
+#include "obs/registry.h"
+#include "run/backend.h"
+#include "run/backend_spec.h"
+#include "run/workload.h"
+#include "util/stats.h"
+
+namespace cnet::run {
+
+struct RunReport {
+  bool ok = false;
+  std::string error;  ///< why the run was rejected (set iff !ok)
+
+  BackendSpec spec;
+  Workload workload;
+  std::string time_unit;  ///< unit of every time below ("ns", "cycles", "units")
+
+  lin::History history;       ///< one Operation per counting op
+  lin::CheckResult analysis;  ///< Def 2.4 non-linearizability analysis
+
+  /// Values form exactly {0, ..., n-1} (fresh-backend counting property).
+  bool counting_ok = false;
+  std::string counting_message;
+  /// Per-output exit counts have the Def 2.2 step property.
+  bool step_ok = false;
+
+  double makespan = 0.0;    ///< first invocation to last response
+  double throughput = 0.0;  ///< completed ops per time unit
+  Summary op_latency;       ///< per-operation start->end times
+
+  /// Online c2/c1 estimate from the backend's obs sink (0 = no sink).
+  double c2c1_estimate = 0.0;
+  /// psim extras (0 elsewhere): mean toggle wait and the paper's
+  /// (Tog + W)/Tog Figure 7 metric.
+  double avg_tog = 0.0;
+  double avg_c2_over_c1 = 0.0;
+
+  /// Snapshot of the backend's registered obs metrics (empty if none).
+  obs::Snapshot metrics;
+
+  /// Multi-line human-readable rendering (what `cnet_cli run` prints).
+  std::string to_text() const;
+};
+
+class Runner {
+ public:
+  /// Executes `workload` on `backend`. Rejects — with a diagnostic, never
+  /// an abort — combinations the backend cannot honour (open-loop arrivals
+  /// on psim, delay injection on mp, more rt threads than the spec's
+  /// bound). The backend should be freshly constructed: the counting check
+  /// assumes values start at 0.
+  RunReport run(CountingBackend& backend, const Workload& workload);
+};
+
+}  // namespace cnet::run

@@ -1,0 +1,62 @@
+// Workload: the arrival process half of the unified harness. One Workload
+// describes *what* traffic to offer — closed-loop threads, open-loop Poisson
+// arrivals, periodic bursts, a delayed fraction of issuers (the paper's F/W
+// scheme) — independently of *which* backend executes it. The Runner maps
+// the description onto each backend's native notion of time:
+//
+//   rt, mp   real threads, wall-clock nanoseconds
+//   psim     simulated processors, cycles (closed loop only — the machine's
+//            processors are inherently closed-loop issuers)
+//   sim      virtual-time injections in the §2 model's time units
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cnet::run {
+
+enum class Arrival : std::uint8_t {
+  kClosed,   ///< `threads` issuers, each re-entering as soon as it completes
+  kPoisson,  ///< open loop: aggregate-exponential interarrival gaps
+  kBurst,    ///< open loop: every `burst_gap`, each issuer fires `burst_size` ops
+};
+
+struct Workload {
+  Arrival arrival = Arrival::kClosed;
+
+  /// Closed loop: concurrent issuers (psim: processors unless the spec's
+  /// `procs` overrides). Open loop on live backends: generator threads.
+  std::uint32_t threads = 4;
+
+  /// Total counting operations across all issuers.
+  std::uint64_t total_ops = 10000;
+
+  /// Closed loop on live backends: values claimed per count_batch() call
+  /// (1 = one next() per op). History operations of one batch share the
+  /// batch call's start/end times.
+  std::uint32_t batch = 1;
+
+  /// Poisson: mean aggregate arrival rate, in ops per time unit of the
+  /// backend (ops/second on rt and mp, ops/time-unit on sim).
+  double rate = 1000.0;
+
+  /// Burst arrivals: ops per issuer per burst, and the gap between bursts
+  /// (ns on live backends, time units on sim).
+  std::uint32_t burst_size = 1;
+  double burst_gap = 1000.0;
+
+  /// The paper's §5 delay injection: round(delayed_fraction * threads)
+  /// issuers wait `wait` after every node traversal (psim's
+  /// delayed_fraction/wait_cycles; busy-wait ns on rt; extra link time on
+  /// sim's closed loop, Bernoulli per token on its open loops; unsupported
+  /// on mp, where clients cannot reach inside an actor hop).
+  double delayed_fraction = 0.0;
+  std::uint64_t wait = 0;
+
+  std::uint64_t seed = 1;
+
+  /// One-line summary for reports, e.g. "closed threads=8 ops=10000 seed=1".
+  std::string to_string() const;
+};
+
+}  // namespace cnet::run

@@ -1,0 +1,202 @@
+// CountingBackend adapters: every family constructs from a spec string,
+// counts correctly, and reports through the uniform interface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "run/backend.h"
+#include "run/runner.h"
+#include "topo/builders.h"
+
+namespace cnet::run {
+namespace {
+
+std::unique_ptr<CountingBackend> backend_ok(const std::string& text) {
+  std::string error;
+  auto backend = make_backend(text, &error);
+  EXPECT_NE(backend, nullptr) << text << " -> " << error;
+  return backend;
+}
+
+TEST(RunBackend, FactoryRejectsBadSpecsWithDiagnostics) {
+  std::string error;
+  EXPECT_EQ(make_backend("rt:bitonic:0", &error), nullptr);
+  EXPECT_NE(error.find("rt:bitonic:0"), std::string::npos);
+  EXPECT_EQ(make_backend("quantum:bitonic:8", &error), nullptr);
+  EXPECT_NE(error.find("unknown backend family"), std::string::npos);
+}
+
+TEST(RunBackend, RtCountsSequentially) {
+  auto backend = backend_ok("rt:bitonic:8");
+  EXPECT_TRUE(backend->live());
+  EXPECT_STREQ(backend->time_unit(), "ns");
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 64; ++i) values.push_back(backend->count(0));
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t i = 0; i < values.size(); ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(RunBackend, RtBatchAndDelayedMatchPlainCounting) {
+  auto backend = backend_ok("rt:bitonic:8?engine=walk");
+  std::vector<std::uint64_t> values(10);
+  backend->count_batch(0, values);
+  for (int i = 0; i < 6; ++i) values.push_back(backend->count_delayed(0, 100));
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t i = 0; i < values.size(); ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(RunBackend, RtHonoursEngineAndMetricsOptions) {
+  auto walk = backend_ok("rt:bitonic:8?engine=walk");
+  EXPECT_EQ(static_cast<RtBackend&>(*walk).counter().engine(), rt::ExecutionEngine::kGraphWalk);
+  auto plan = backend_ok("rt:bitonic:8?metrics");
+  auto& rt_plan = static_cast<RtBackend&>(*plan);
+  EXPECT_EQ(rt_plan.counter().engine(), rt::ExecutionEngine::kCompiledPlan);
+#if CNET_OBS
+  ASSERT_NE(rt_plan.metrics(), nullptr);
+  (void)plan->count(0);
+  EXPECT_EQ(rt_plan.metrics()->tokens.value(), 1u);
+#endif
+}
+
+TEST(RunBackend, RtExternalMetricsSinkIsBorrowed) {
+  obs::CounterMetrics metrics;
+  metrics.sample_period = 1;
+  RtBackend backend(parse_spec_or_die("rt:bitonic:8"), &metrics);
+  (void)backend.count(0);
+#if CNET_OBS
+  EXPECT_EQ(metrics.tokens.value(), 1u);
+  EXPECT_EQ(backend.metrics(), &metrics);
+#endif
+}
+
+TEST(RunBackend, MpCountsThroughActors) {
+  auto backend = backend_ok("mp:bitonic:4?actors=2");
+  EXPECT_TRUE(backend->live());
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.push_back(backend->count(static_cast<std::uint32_t>(i)));
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t i = 0; i < values.size(); ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(RunBackend, SimSimulatesClosedLoop) {
+  auto backend = backend_ok("sim:bitonic:8?c1=1&c2=2");
+  EXPECT_FALSE(backend->live());
+  Workload workload;
+  workload.threads = 4;
+  workload.total_ops = 200;
+  workload.seed = 3;
+  const SimulatedRun run = backend->simulate(workload);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.history.size(), 200u);
+  EXPECT_GT(run.makespan, 0.0);
+  for (const auto& op : run.history) EXPECT_LT(op.start, op.end);
+}
+
+TEST(RunBackend, SimSimulatesOpenLoops) {
+  Workload poisson;
+  poisson.arrival = Arrival::kPoisson;
+  poisson.total_ops = 300;
+  poisson.rate = 2.0;
+  poisson.seed = 11;
+  const SimulatedRun poisson_run = backend_ok("sim:bitonic:8")->simulate(poisson);
+  ASSERT_TRUE(poisson_run.ok) << poisson_run.error;
+  EXPECT_EQ(poisson_run.history.size(), 300u);
+
+  Workload burst;
+  burst.arrival = Arrival::kBurst;
+  burst.threads = 4;
+  burst.total_ops = 100;
+  burst.burst_size = 2;
+  burst.burst_gap = 50.0;
+  const SimulatedRun burst_run = backend_ok("sim:tree:8")->simulate(burst);
+  ASSERT_TRUE(burst_run.ok) << burst_run.error;
+  EXPECT_EQ(burst_run.history.size(), 100u);
+}
+
+TEST(RunBackend, SimRejectsDegenerateOpenLoopParameters) {
+  Workload workload;
+  workload.arrival = Arrival::kPoisson;
+  workload.rate = 0.0;
+  EXPECT_FALSE(backend_ok("sim:bitonic:8")->simulate(workload).ok);
+  workload.arrival = Arrival::kBurst;
+  workload.burst_gap = 0.0;
+  EXPECT_FALSE(backend_ok("sim:bitonic:8")->simulate(workload).ok);
+}
+
+TEST(RunBackend, SimDeterministicInSeed) {
+  Workload workload;
+  workload.threads = 3;
+  workload.total_ops = 120;
+  workload.seed = 7;
+  const SimulatedRun a = backend_ok("sim:bitonic:8?c2=3")->simulate(workload);
+  const SimulatedRun b = backend_ok("sim:bitonic:8?c2=3")->simulate(workload);
+  ASSERT_TRUE(a.ok && b.ok);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].value, b.history[i].value);
+    EXPECT_DOUBLE_EQ(a.history[i].start, b.history[i].start);
+    EXPECT_DOUBLE_EQ(a.history[i].end, b.history[i].end);
+  }
+}
+
+TEST(RunBackend, PsimRunsTheMachineClosedLoop) {
+  auto backend = backend_ok("psim:bitonic:8?procs=8");
+  EXPECT_FALSE(backend->live());
+  EXPECT_STREQ(backend->time_unit(), "cycles");
+  Workload workload;
+  workload.threads = 2;  // overridden by procs=8
+  workload.total_ops = 500;
+  workload.seed = 5;
+  const SimulatedRun run = backend->simulate(workload);
+  ASSERT_TRUE(run.ok) << run.error;
+  // psim stops when *completed* ops reach the target, so in-flight
+  // tokens drain and the history may slightly overshoot (paper §5).
+  EXPECT_GE(run.history.size(), 500u);
+  EXPECT_LE(run.history.size(), 500u + 8u);
+  EXPECT_GT(run.avg_tog, 0.0);
+}
+
+TEST(RunBackend, PsimRejectsOpenLoopArrivals) {
+  Workload workload;
+  workload.arrival = Arrival::kPoisson;
+  const SimulatedRun run = backend_ok("psim:bitonic:8")->simulate(workload);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("closed-loop"), std::string::npos);
+}
+
+TEST(RunBackend, PsimMatchesDirectMachineInvocation) {
+  // The adapter must add nothing: same net + params => same history.
+  auto backend = backend_ok("psim:tree:32?diffraction=on");
+  Workload workload;
+  workload.threads = 16;
+  workload.total_ops = 400;
+  workload.delayed_fraction = 0.25;
+  workload.wait = 1000;
+  workload.seed = 99;
+  const SimulatedRun via_run = backend->simulate(workload);
+  ASSERT_TRUE(via_run.ok);
+
+  psim::MachineParams params;
+  params.processors = 16;
+  params.total_ops = 400;
+  params.delayed_fraction = 0.25;
+  params.wait_cycles = 1000;
+  params.seed = 99;
+  params.use_diffraction = true;
+  const psim::MachineResult direct = psim::run_workload(topo::make_counting_tree(32), params);
+
+  ASSERT_EQ(via_run.history.size(), direct.history.size());
+  for (std::size_t i = 0; i < direct.history.size(); ++i) {
+    EXPECT_EQ(via_run.history[i].value, direct.history[i].value);
+    EXPECT_DOUBLE_EQ(via_run.history[i].start, direct.history[i].start);
+    EXPECT_DOUBLE_EQ(via_run.history[i].end, direct.history[i].end);
+  }
+  EXPECT_DOUBLE_EQ(via_run.avg_tog, direct.avg_tog);
+  EXPECT_DOUBLE_EQ(via_run.avg_c2_over_c1, direct.avg_c2_over_c1);
+}
+
+}  // namespace
+}  // namespace cnet::run

@@ -1,0 +1,272 @@
+// BackendSpec grammar: round-trips, every diagnostic the parser can emit,
+// and an exhaustive sweep over the option cross-product of each family.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "run/backend_spec.h"
+
+namespace cnet::run {
+namespace {
+
+BackendSpec parse_ok(const std::string& text) {
+  BackendSpec spec;
+  std::string error;
+  EXPECT_TRUE(parse_spec(text, &spec, &error)) << text << " -> " << error;
+  return spec;
+}
+
+std::string parse_fail(const std::string& text) {
+  BackendSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_spec(text, &spec, &error)) << text << " unexpectedly parsed";
+  return error;
+}
+
+TEST(RunSpec, ParsesTheIssueExamples) {
+  BackendSpec rt = parse_ok("rt:bitonic:32?engine=plan");
+  EXPECT_EQ(rt.family, Family::kRt);
+  EXPECT_EQ(rt.structure, Structure::kBitonic);
+  EXPECT_EQ(rt.width, 32u);
+  EXPECT_FALSE(rt.engine_walk);
+
+  BackendSpec psim = parse_ok("psim:tree:64?mcs&procs=128");
+  EXPECT_EQ(psim.family, Family::kPsim);
+  EXPECT_EQ(psim.structure, Structure::kTree);
+  EXPECT_EQ(psim.width, 64u);
+  EXPECT_TRUE(psim.mcs);
+  EXPECT_EQ(psim.procs, 128u);
+
+  BackendSpec sim = parse_ok("sim:periodic:16?c1=1&c2=3&model=uniform");
+  EXPECT_EQ(sim.family, Family::kSim);
+  EXPECT_EQ(sim.structure, Structure::kPeriodic);
+  EXPECT_DOUBLE_EQ(sim.c1, 1.0);
+  EXPECT_DOUBLE_EQ(sim.c2, 3.0);
+  EXPECT_EQ(sim.delay, DelayKind::kUniform);
+
+  BackendSpec mp = parse_ok("mp:bitonic:8?actors=4");
+  EXPECT_EQ(mp.family, Family::kMp);
+  EXPECT_EQ(mp.actors, 4u);
+}
+
+TEST(RunSpec, BareFlagsAndOnOffValues) {
+  EXPECT_TRUE(parse_ok("rt:bitonic:8?mcs").mcs);
+  EXPECT_TRUE(parse_ok("rt:bitonic:8?mcs=on").mcs);
+  EXPECT_FALSE(parse_ok("rt:bitonic:8?mcs=off").mcs);
+  EXPECT_TRUE(parse_ok("rt:tree:8?diffraction").diffraction);
+  EXPECT_TRUE(parse_ok("rt:bitonic:8?metrics").metrics);
+}
+
+TEST(RunSpec, DefaultsMatchDefaultStruct) {
+  const BackendSpec parsed = parse_ok("rt:bitonic:32");
+  const BackendSpec defaults{};
+  EXPECT_EQ(parsed.engine_walk, defaults.engine_walk);
+  EXPECT_EQ(parsed.mcs, defaults.mcs);
+  EXPECT_EQ(parsed.prism_width, defaults.prism_width);
+  EXPECT_EQ(parsed.max_threads, defaults.max_threads);
+  EXPECT_EQ(parsed.pad_ratio, defaults.pad_ratio);
+  EXPECT_EQ(parsed.metrics, defaults.metrics);
+}
+
+// --- degenerate widths surface as parse errors, not CNET_CHECK aborts ----
+
+TEST(RunSpec, DegenerateWidthsAreParseErrors) {
+  for (const char* text : {"rt:bitonic:0", "rt:bitonic:1", "rt:bitonic:3", "rt:bitonic:48",
+                           "sim:periodic:0", "sim:periodic:1", "psim:tree:0", "psim:tree:1",
+                           "mp:bitonic:0", "mp:bitonic:7"}) {
+    const std::string error = parse_fail(text);
+    EXPECT_NE(error.find(text), std::string::npos) << "spec not echoed: " << error;
+    EXPECT_NE(error.find("power of two"), std::string::npos) << error;
+  }
+  // A single balancer is the one structure where width 1 is meaningful.
+  EXPECT_EQ(parse_ok("psim:balancer:1").width, 1u);
+  EXPECT_NE(parse_fail("psim:balancer:0").find(">= 1"), std::string::npos);
+}
+
+TEST(RunSpec, AbsurdWidthsAreParseErrors) {
+  EXPECT_NE(parse_fail("rt:bitonic:131072").find("maximum"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:4294967296").find("not a number"), std::string::npos);
+}
+
+// --- every other diagnostic ----------------------------------------------
+
+TEST(RunSpec, ShapeErrors) {
+  EXPECT_NE(parse_fail("").find("expected <family>"), std::string::npos);
+  EXPECT_NE(parse_fail("rt").find("expected <family>"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic").find("expected <family>"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:x").find("not a number"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:").find("not a number"), std::string::npos);
+}
+
+TEST(RunSpec, UnknownNamesListAlternatives) {
+  EXPECT_NE(parse_fail("gpu:bitonic:8").find("valid: sim, psim, rt, mp"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:torus:8").find("valid: bitonic, periodic, tree, balancer"),
+            std::string::npos);
+}
+
+TEST(RunSpec, OptionShapeErrors) {
+  EXPECT_NE(parse_fail("rt:bitonic:8?").find("empty option"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?mcs&&engine=plan").find("empty option"),
+            std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?engine=").find("empty value"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?=plan").find("empty key"), std::string::npos);
+}
+
+TEST(RunSpec, UnknownOptionsNameTheFamilyCatalogue) {
+  EXPECT_NE(parse_fail("rt:bitonic:8?procs=4").find("unknown rt option"), std::string::npos);
+  EXPECT_NE(parse_fail("psim:bitonic:8?engine=plan").find("unknown psim option"),
+            std::string::npos);
+  EXPECT_NE(parse_fail("sim:bitonic:8?actors=2").find("unknown sim option"), std::string::npos);
+  EXPECT_NE(parse_fail("mp:bitonic:8?c1=2").find("unknown mp option"), std::string::npos);
+}
+
+TEST(RunSpec, IllTypedOptionValues) {
+  EXPECT_NE(parse_fail("rt:bitonic:8?engine=jit").find("plan|walk"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?mcs=maybe").find("on|off"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?prism=lots").find("slot count"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?threads=0").find(">= 1"), std::string::npos);
+  EXPECT_NE(parse_fail("psim:bitonic:8?procs=0").find(">= 1"), std::string::npos);
+  EXPECT_NE(parse_fail("psim:bitonic:8?hop=fast").find("cycle count"), std::string::npos);
+  EXPECT_NE(parse_fail("sim:bitonic:8?model=gamma").find("uniform|fixed"), std::string::npos);
+  EXPECT_NE(parse_fail("sim:bitonic:8?c1=-1").find("positive time"), std::string::npos);
+  EXPECT_NE(parse_fail("sim:bitonic:8?c2=zero").find("positive time"), std::string::npos);
+  EXPECT_NE(parse_fail("mp:bitonic:8?actors=0").find(">= 1"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?pad=999").find("pad"), std::string::npos);
+}
+
+TEST(RunSpec, CombinationErrors) {
+  EXPECT_NE(parse_fail("rt:tree:8?mcs&diffraction").find("mutually exclusive"),
+            std::string::npos);
+  EXPECT_NE(parse_fail("sim:bitonic:8?c1=3&c2=2").find("c2 must be >= c1"), std::string::npos);
+  EXPECT_NE(parse_fail("rt:bitonic:8?diffraction").find("requires the tree"),
+            std::string::npos);
+  EXPECT_NE(parse_fail("sim:bitonic:8?metrics").find("no obs surface"), std::string::npos);
+}
+
+// --- round-trips -----------------------------------------------------------
+
+void expect_round_trip(const std::string& text) {
+  const BackendSpec first = parse_ok(text);
+  const std::string canonical = first.to_string();
+  const BackendSpec second = parse_ok(canonical);
+  EXPECT_EQ(second.to_string(), canonical) << "canonical form not a fixed point for " << text;
+}
+
+TEST(RunSpec, RoundTripsCanonicalise) {
+  for (const char* text : {
+           "rt:bitonic:32", "rt:bitonic:32?engine=walk&mcs", "rt:tree:16?diffraction&prism=4",
+           "rt:periodic:8?threads=64&pad=3&metrics", "psim:bitonic:32?procs=16&hop=2",
+           "psim:tree:64?diffraction=on&prism=8&metrics=on", "psim:balancer:1",
+           "sim:bitonic:8?model=fixed&c1=2", "sim:periodic:16?c1=1.5&c2=4.5",
+           "mp:bitonic:8?actors=4&pad=4", "mp:tree:32",
+       }) {
+    expect_round_trip(text);
+  }
+}
+
+// --- exhaustive option cross-products --------------------------------------
+
+TEST(RunSpec, RtOptionCrossProduct) {
+  for (const char* engine : {"", "engine=plan", "engine=walk"}) {
+    for (const char* mode : {"", "mcs", "diffraction"}) {
+      for (const char* prism : {"", "prism=4"}) {
+        for (const char* threads : {"", "threads=16"}) {
+          for (const char* pad : {"", "pad=3"}) {
+            for (const char* metrics : {"", "metrics"}) {
+              std::string options;
+              for (const char* opt : {engine, mode, prism, threads, pad, metrics}) {
+                if (*opt == '\0') continue;
+                options += options.empty() ? "?" : "&";
+                options += opt;
+              }
+              // diffraction requires the tree structure.
+              const bool diffracting = std::string(mode) == "diffraction";
+              const std::string text =
+                  std::string("rt:") + (diffracting ? "tree" : "bitonic") + ":8" + options;
+              expect_round_trip(text);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RunSpec, PsimOptionCrossProduct) {
+  for (const char* procs : {"", "procs=32"}) {
+    for (const char* mode : {"", "mcs", "diffraction"}) {
+      for (const char* prism : {"", "prism=2"}) {
+        for (const char* hop : {"", "hop=8"}) {
+          for (const char* metrics : {"", "metrics=on"}) {
+            std::string options;
+            for (const char* opt : {procs, mode, prism, hop, metrics}) {
+              if (*opt == '\0') continue;
+              options += options.empty() ? "?" : "&";
+              options += opt;
+            }
+            const bool diffracting = std::string(mode) == "diffraction";
+            const std::string text =
+                std::string("psim:") + (diffracting ? "tree" : "bitonic") + ":16" + options;
+            expect_round_trip(text);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RunSpec, SimOptionCrossProduct) {
+  for (const char* model : {"", "model=uniform", "model=fixed"}) {
+    for (const char* c1 : {"", "c1=2"}) {
+      for (const char* c2 : {"", "c2=6"}) {
+        for (const char* pad : {"", "pad=4"}) {
+          std::string options;
+          for (const char* opt : {model, c1, c2, pad}) {
+            if (*opt == '\0') continue;
+            options += options.empty() ? "?" : "&";
+            options += opt;
+          }
+          expect_round_trip("sim:bitonic:8" + options);
+        }
+      }
+    }
+  }
+}
+
+TEST(RunSpec, MpOptionCrossProduct) {
+  for (const char* actors : {"", "actors=1", "actors=8", "workers=3"}) {
+    for (const char* pad : {"", "pad=3"}) {
+      for (const char* metrics : {"", "metrics"}) {
+        std::string options;
+        for (const char* opt : {actors, pad, metrics}) {
+          if (*opt == '\0') continue;
+          options += options.empty() ? "?" : "&";
+          options += opt;
+        }
+        expect_round_trip("mp:bitonic:8" + options);
+      }
+    }
+  }
+}
+
+// --- network construction ---------------------------------------------------
+
+TEST(RunSpec, BuildNetworkHonoursStructureAndPadding) {
+  EXPECT_EQ(parse_ok("rt:bitonic:8").build_network().output_width(), 8u);
+  EXPECT_EQ(parse_ok("sim:tree:16").build_network().input_width(), 1u);
+  EXPECT_EQ(parse_ok("psim:balancer:1").build_network().node_count(), 1u);
+
+  const topo::Network plain = parse_ok("rt:bitonic:8").build_network();
+  const topo::Network padded = parse_ok("rt:bitonic:8?pad=3").build_network();
+  EXPECT_EQ(padded.depth(), plain.depth() * 2) << "pad=3 prefixes depth*(k-2) pass nodes";
+  // pad=2 is the Cor 3.9 regime: no prefix needed.
+  EXPECT_EQ(parse_ok("rt:bitonic:8?pad=2").build_network().depth(), plain.depth());
+}
+
+TEST(RunSpec, ParseSpecOrDieReturnsParsedSpec) {
+  EXPECT_EQ(parse_spec_or_die("mp:tree:8?actors=3").actors, 3u);
+}
+
+}  // namespace
+}  // namespace cnet::run

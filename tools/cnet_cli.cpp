@@ -1,39 +1,53 @@
 // cnet command-line tool: build, inspect, verify, and exercise counting
 // networks without writing code.
 //
+// Topology commands (info, dot, simulate, workload, exhaustive) take the
+// legacy positional form. The measurement commands (run, count, stats,
+// verify) are spec-driven: anywhere they accept a network they take a
+// BackendSpec string — `<family>:<structure>:<width>[?opt[&opt]...]`, e.g.
+// `rt:bitonic:32?engine=plan` or `psim:tree:64?mcs&procs=128` (grammar in
+// docs/HARNESS.md). count/stats/verify also still accept the positional
+// `<kind> <width>` form, which is rewritten to a spec internally.
+//
 //   cnet_cli info <bitonic|periodic|tree> <width>
 //       structure summary: depth, nodes, layers, uniformity, theory bounds
 //   cnet_cli dot <bitonic|periodic|tree> <width>
 //       Graphviz rendering on stdout
-//   cnet_cli verify <bitonic|periodic|tree> <width> [trials] [max-per-input]
+//   cnet_cli verify <spec | kind width> [trials] [max-per-input]
 //       randomized counting-property verification
 //   cnet_cli simulate <bitonic|periodic|tree> <width> <tokens> <c2/c1> [seed]
 //       random execution in the paper's timing model + Def 2.4 analysis
 //   cnet_cli workload <bitonic|tree> <n> <F%> <W> [ops] [seed]
 //       the paper's §5 experiment on the simulated multiprocessor
-//   cnet_cli count <bitonic|periodic|tree> <width> <threads> <ops> [batch] [plan|walk]
-//       real-thread throughput of the shared counter (compiled routing plan
-//       by default; 'walk' selects the per-token graph walk for comparison)
-//   cnet_cli stats <bitonic|periodic|tree> <width> <threads> <ops> [batch] [trace.json]
-//       like count, but with the observability layer attached: prints the
-//       full metrics snapshot (docs/OBSERVABILITY.md), the busiest
+//   cnet_cli exhaustive <bitonic|periodic|tree> <width> <tokens> <c2/c1> [slots] [step]
+//       exhaustive schedule search for Def 2.4 violations
+//   cnet_cli run <spec> [key=value ...]
+//       any workload on any backend through the unified harness; prints the
+//       full RunReport. Keys: threads, ops, batch, arrival, rate, burst,
+//       gap, f, wait, seed
+//   cnet_cli count <spec | kind width> <threads> <ops> [batch] [plan|walk]
+//       closed-loop counting throughput (sugar for `run` with a closed
+//       workload); exit 1 if the counting or step property fails
+//   cnet_cli stats <spec | kind width> <threads> <ops> [batch] [trace.json]
+//       like count on the rt family, with the observability layer attached:
+//       prints the metrics snapshot (docs/OBSERVABILITY.md), the busiest
 //       balancers, and the online c2/c1 estimate; optionally dumps a
 //       chrome://tracing JSON of sampled token hops
+//
+// Exit codes: 0 success, 1 a property check failed, 2 usage error (unknown
+// command, malformed spec or workload key).
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "core/counting_network.h"
 #include "obs/backend_metrics.h"
-#include "obs/registry.h"
 #include "psim/machine.h"
+#include "run/backend.h"
+#include "run/runner.h"
 #include "sim/exhaustive.h"
 #include "sim/scenarios.h"
 #include "theory/bounds.h"
@@ -48,19 +62,24 @@ namespace {
 using namespace cnet;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  cnet_cli info     <bitonic|periodic|tree> <width>\n"
-               "  cnet_cli dot      <bitonic|periodic|tree> <width>\n"
-               "  cnet_cli verify   <bitonic|periodic|tree> <width> [trials] [max-per-input]\n"
-               "  cnet_cli simulate <bitonic|periodic|tree> <width> <tokens> <c2/c1> [seed]\n"
-               "  cnet_cli workload <bitonic|tree> <n> <F%%> <W> [ops] [seed]\n"
-               "  cnet_cli exhaustive <bitonic|periodic|tree> <width> <tokens> <c2/c1>"
-               " [slots] [step]\n"
-               "  cnet_cli count    <bitonic|periodic|tree> <width> <threads> <ops>"
-               " [batch] [plan|walk]\n"
-               "  cnet_cli stats    <bitonic|periodic|tree> <width> <threads> <ops>"
-               " [batch] [trace.json]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cnet_cli info     <bitonic|periodic|tree> <width>\n"
+      "  cnet_cli dot      <bitonic|periodic|tree> <width>\n"
+      "  cnet_cli verify   <spec | kind width> [trials] [max-per-input]\n"
+      "  cnet_cli simulate <bitonic|periodic|tree> <width> <tokens> <c2/c1> [seed]\n"
+      "  cnet_cli workload <bitonic|tree> <n> <F%%> <W> [ops] [seed]\n"
+      "  cnet_cli exhaustive <bitonic|periodic|tree> <width> <tokens> <c2/c1>"
+      " [slots] [step]\n"
+      "  cnet_cli run      <spec> [threads=N] [ops=N] [batch=N]\n"
+      "                    [arrival=closed|poisson|burst] [rate=X] [burst=N] [gap=X]\n"
+      "                    [f=X] [wait=N] [seed=N]\n"
+      "  cnet_cli count    <spec | kind width> <threads> <ops> [batch] [plan|walk]\n"
+      "  cnet_cli stats    <spec | kind width> <threads> <ops> [batch] [trace.json]\n"
+      "spec grammar: <family>:<structure>:<width>[?opt[&opt]...]  (docs/HARNESS.md)\n"
+      "  families: sim, psim, rt, mp   structures: bitonic, periodic, tree, balancer\n"
+      "  e.g. rt:bitonic:32?engine=plan   psim:tree:64?mcs&procs=128\n");
   return 2;
 }
 
@@ -70,6 +89,78 @@ topo::Network build(const std::string& kind, std::uint32_t width) {
   if (kind == "tree") return topo::make_counting_tree(width);
   std::fprintf(stderr, "unknown topology '%s'\n", kind.c_str());
   std::exit(2);
+}
+
+/// Parses `text` as a BackendSpec; on failure prints the diagnostic and
+/// exits 2 (usage error), so commands can assume a valid spec.
+run::BackendSpec parse_spec_or_exit(const std::string& text) {
+  run::BackendSpec spec;
+  std::string error;
+  if (!run::parse_spec(text, &spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
+  }
+  return spec;
+}
+
+bool looks_like_spec(const char* arg) { return std::strchr(arg, ':') != nullptr; }
+
+/// Applies one `key=value` workload argument; false (with a diagnostic on
+/// stderr) on unknown keys or ill-typed values.
+bool apply_workload_arg(const std::string& arg, run::Workload* workload) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+    std::fprintf(stderr, "workload argument '%s' is not key=value\n", arg.c_str());
+    return false;
+  }
+  const std::string key = arg.substr(0, eq);
+  const std::string value = arg.substr(eq + 1);
+  char* end = nullptr;
+  const auto as_u64 = [&] { return std::strtoull(value.c_str(), &end, 10); };
+  const auto as_f64 = [&] { return std::strtod(value.c_str(), &end); };
+  if (key == "threads") {
+    workload->threads = static_cast<std::uint32_t>(as_u64());
+  } else if (key == "ops") {
+    workload->total_ops = as_u64();
+  } else if (key == "batch") {
+    workload->batch = static_cast<std::uint32_t>(as_u64());
+  } else if (key == "arrival") {
+    if (value == "closed") {
+      workload->arrival = run::Arrival::kClosed;
+    } else if (value == "poisson") {
+      workload->arrival = run::Arrival::kPoisson;
+    } else if (value == "burst") {
+      workload->arrival = run::Arrival::kBurst;
+    } else {
+      std::fprintf(stderr, "arrival '%s' is not closed, poisson, or burst\n", value.c_str());
+      return false;
+    }
+    return true;
+  } else if (key == "rate") {
+    workload->rate = as_f64();
+  } else if (key == "burst") {
+    workload->burst_size = static_cast<std::uint32_t>(as_u64());
+  } else if (key == "gap") {
+    workload->burst_gap = as_f64();
+  } else if (key == "f") {
+    workload->delayed_fraction = as_f64();
+  } else if (key == "wait") {
+    workload->wait = as_u64();
+  } else if (key == "seed") {
+    workload->seed = as_u64();
+  } else {
+    std::fprintf(stderr,
+                 "unknown workload key '%s' (valid: threads, ops, batch, arrival, rate,"
+                 " burst, gap, f, wait, seed)\n",
+                 key.c_str());
+    return false;
+  }
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "workload key '%s' has a malformed value '%s'\n", key.c_str(),
+                 value.c_str());
+    return false;
+  }
+  return true;
 }
 
 int cmd_info(const std::string& kind, std::uint32_t width) {
@@ -94,9 +185,7 @@ int cmd_info(const std::string& kind, std::uint32_t width) {
   return 0;
 }
 
-int cmd_verify(const std::string& kind, std::uint32_t width, std::uint64_t trials,
-               std::uint64_t max_per_input) {
-  const topo::Network net = build(kind, width);
+int cmd_verify(const topo::Network& net, std::uint64_t trials, std::uint64_t max_per_input) {
   Rng rng(0xc0ffee);
   const topo::VerifyResult result = topo::verify_counting_random(net, max_per_input, trials, rng);
   if (result.ok) {
@@ -189,128 +278,49 @@ int cmd_exhaustive(const std::string& kind, std::uint32_t width, std::uint32_t t
   return 1;
 }
 
-int cmd_count(const std::string& kind, std::uint32_t width, unsigned threads, std::uint64_t ops,
-              std::size_t batch, const std::string& engine_name) {
-  SharedCounter::Config config;
-  if (kind == "bitonic") {
-    config.topology = Topology::kBitonic;
-  } else if (kind == "periodic") {
-    config.topology = Topology::kPeriodic;
-  } else if (kind == "tree") {
-    config.topology = Topology::kTree;
-  } else {
-    std::fprintf(stderr, "unknown topology '%s'\n", kind.c_str());
+int cmd_run(const run::BackendSpec& spec, const run::Workload& workload) {
+  std::unique_ptr<run::CountingBackend> backend = run::make_backend(spec);
+  run::Runner runner;
+  const run::RunReport report = runner.run(*backend, workload);
+  if (!report.ok) {
+    std::fprintf(stderr, "%s", report.to_text().c_str());
     return 2;
   }
-  if (engine_name != "plan" && engine_name != "walk") {
-    std::fprintf(stderr, "unknown engine '%s' (expected 'plan' or 'walk')\n",
-                 engine_name.c_str());
-    return 2;
-  }
-  threads = std::max(threads, 1u);
-  batch = std::max<std::size_t>(batch, 1);
-  config.width = width;
-  config.max_threads = threads;
-  const bool plan = engine_name == "plan";
-  config.engine = plan ? rt::ExecutionEngine::kCompiledPlan : rt::ExecutionEngine::kGraphWalk;
-  SharedCounter counter(config);
-
-  const std::uint64_t per_thread = ops / threads;
-  std::vector<std::vector<std::uint64_t>> values(threads);
-  const auto t0 = std::chrono::steady_clock::now();
-  {
-    std::vector<std::jthread> workers;
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        values[t].resize(per_thread);
-        std::span<std::uint64_t> mine(values[t]);
-        while (!mine.empty()) {
-          const std::size_t n = std::min(batch, mine.size());
-          counter.next_batch(t, mine.first(n));
-          mine = mine.subspan(n);
-        }
-      });
-    }
-  }
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-
-  std::vector<std::uint64_t> all;
-  all.reserve(per_thread * threads);
-  for (auto& v : values) all.insert(all.end(), v.begin(), v.end());
-  std::sort(all.begin(), all.end());
-  for (std::uint64_t i = 0; i < all.size(); ++i) {
-    if (all[i] != i) {
-      std::printf("FAIL: values do not form 0..%zu (rank %llu holds %llu)\n", all.size() - 1,
-                  static_cast<unsigned long long>(i), static_cast<unsigned long long>(all[i]));
-      return 1;
-    }
-  }
-  std::printf("%s, %u threads x %llu ops, batch %zu, engine %s\n",
-              counter.network().name().c_str(), threads,
-              static_cast<unsigned long long>(per_thread), batch,
-              plan ? "compiled-plan" : "graph-walk");
-  std::printf("  values 0..%zu: all present exactly once\n", all.size() - 1);
-  std::printf("  wall time : %.3f s\n", secs);
-  std::printf("  throughput: %.2f M items/s\n",
-              static_cast<double>(all.size()) / secs / 1e6);
-  return 0;
+  std::fputs(report.to_text().c_str(), stdout);
+  return report.counting_ok && report.step_ok ? 0 : 1;
 }
 
-int cmd_stats(const std::string& kind, std::uint32_t width, unsigned threads, std::uint64_t ops,
-              std::size_t batch, const std::string& trace_path) {
-  SharedCounter::Config config;
-  if (kind == "bitonic") {
-    config.topology = Topology::kBitonic;
-  } else if (kind == "periodic") {
-    config.topology = Topology::kPeriodic;
-  } else if (kind == "tree") {
-    config.topology = Topology::kTree;
-  } else {
-    std::fprintf(stderr, "unknown topology '%s'\n", kind.c_str());
-    return 2;
-  }
+int cmd_stats(const run::BackendSpec& spec, const run::Workload& workload,
+              const std::string& trace_path) {
 #if !CNET_OBS
+  (void)spec;
+  (void)workload;
+  (void)trace_path;
   std::fprintf(stderr, "stats requires a CNET_OBS=1 build (reconfigure with -DCNET_OBS=ON)\n");
   return 2;
-#endif
-  threads = std::max(threads, 1u);
-  batch = std::max<std::size_t>(batch, 1);
-  config.width = width;
-  config.max_threads = threads;
-
+#else
+  if (spec.family != run::Family::kRt) {
+    std::fprintf(stderr, "stats attaches the rt observability sink: the spec must use the"
+                         " rt family (got '%s')\n",
+                 spec.to_string().c_str());
+    return 2;
+  }
   obs::CounterMetrics metrics;
   // stats runs are short and diagnostic: sample densely so the latency
   // histograms and the trace are well-populated even for small `ops`.
   metrics.sample_period = 8;
   if (!trace_path.empty()) metrics.trace.enable();
-  config.metrics = &metrics;
-  SharedCounter counter(config);
-
-  const std::uint64_t per_thread = ops / threads;
-  const auto t0 = std::chrono::steady_clock::now();
-  {
-    std::vector<std::jthread> workers;
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        std::vector<std::uint64_t> out(batch);
-        std::uint64_t remaining = per_thread;
-        while (remaining != 0) {
-          const std::size_t n = std::min<std::uint64_t>(batch, remaining);
-          counter.next_batch(t, std::span<std::uint64_t>(out).first(n));
-          remaining -= n;
-        }
-      });
-    }
+  run::RtBackend backend(spec, &metrics);
+  run::Runner runner;
+  const run::RunReport report = runner.run(backend, workload);
+  if (!report.ok) {
+    std::fprintf(stderr, "%s", report.to_text().c_str());
+    return 2;
   }
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  obs::MetricsRegistry registry;
-  metrics.register_into(registry);
-  std::printf("%s, %u threads x %llu ops, batch %zu\n\n", counter.network().name().c_str(),
-              threads, static_cast<unsigned long long>(per_thread), batch);
-  std::fputs(registry.snapshot().to_text().c_str(), stdout);
+  std::printf("%s, %s\n\n", backend.network().name().c_str(),
+              workload.to_string().c_str());
+  std::fputs(report.metrics.to_text().c_str(), stdout);
 
   // Busiest balancers: where the token stream actually contends.
   const std::vector<std::uint64_t> visits = metrics.balancer_visits.values();
@@ -326,9 +336,9 @@ int cmd_stats(const std::string& kind, std::uint32_t width, unsigned threads, st
                 static_cast<unsigned long long>(visits[order[i]]));
   }
   std::printf("\nonline c2/c1 estimate: %.2f (hop-latency p90/p10; Cor 3.9 needs <= 2)\n",
-              metrics.c2c1_estimate());
-  std::printf("throughput: %.2f M items/s over %.3f s\n",
-              static_cast<double>(per_thread) * threads / secs / 1e6, secs);
+              report.c2c1_estimate);
+  std::printf("throughput: %.2f M items/s over %.0f ns\n", report.throughput * 1e3,
+              report.makespan);
 
   if (!trace_path.empty()) {
     std::FILE* f = std::fopen(trace_path.c_str(), "w");
@@ -342,7 +352,8 @@ int cmd_stats(const std::string& kind, std::uint32_t width, unsigned threads, st
     std::printf("trace: %llu events -> %s (load in chrome://tracing)\n",
                 static_cast<unsigned long long>(metrics.trace.size()), trace_path.c_str());
   }
-  return 0;
+  return report.counting_ok && report.step_ok ? 0 : 1;
+#endif
 }
 
 }  // namespace
@@ -358,10 +369,25 @@ int main(int argc, char** argv) {
     std::cout << topo::to_dot(build(kind, static_cast<std::uint32_t>(std::atoi(argv[3]))));
     return 0;
   }
-  if (command == "verify" && argc >= 4) {
-    return cmd_verify(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
-                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500,
-                      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 32);
+  if (command == "verify") {
+    // Spec form: `verify <spec> [trials] [max]`. Positional form:
+    // `verify <kind> <width> [trials] [max]`, rewritten to a sim spec (the
+    // family is irrelevant — verify only needs the topology).
+    std::string text;
+    int base;
+    if (looks_like_spec(argv[2])) {
+      text = kind;
+      base = 3;
+    } else if (argc >= 4) {
+      text = "sim:" + kind + ":" + argv[3];
+      base = 4;
+    } else {
+      return usage();
+    }
+    const run::BackendSpec spec = parse_spec_or_exit(text);
+    return cmd_verify(spec.build_network(),
+                      argc > base ? std::strtoull(argv[base], nullptr, 10) : 500,
+                      argc > base + 1 ? std::strtoull(argv[base + 1], nullptr, 10) : 32);
   }
   if (command == "simulate" && argc >= 6) {
     return cmd_simulate(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
@@ -374,25 +400,52 @@ int main(int argc, char** argv) {
                           argc > 6 ? static_cast<std::uint32_t>(std::atoi(argv[6])) : 8,
                           argc > 7 ? std::atof(argv[7]) : 0.5);
   }
-  if (command == "count" && argc >= 6) {
-    return cmd_count(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
-                     static_cast<unsigned>(std::atoi(argv[4])),
-                     std::strtoull(argv[5], nullptr, 10),
-                     argc > 6 ? static_cast<std::size_t>(std::atoi(argv[6])) : 16,
-                     argc > 7 ? argv[7] : "plan");
-  }
-  if (command == "stats" && argc >= 6) {
-    return cmd_stats(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
-                     static_cast<unsigned>(std::atoi(argv[4])),
-                     std::strtoull(argv[5], nullptr, 10),
-                     argc > 6 ? static_cast<std::size_t>(std::atoi(argv[6])) : 16,
-                     argc > 7 ? argv[7] : "");
-  }
   if (command == "workload" && argc >= 6) {
     return cmd_workload(kind, static_cast<std::uint32_t>(std::atoi(argv[3])),
                         std::atof(argv[4]), std::strtoull(argv[5], nullptr, 10),
                         argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 5000,
                         argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 1);
+  }
+  if (command == "run") {
+    const run::BackendSpec spec = parse_spec_or_exit(kind);
+    run::Workload workload;
+    for (int i = 3; i < argc; ++i) {
+      if (!apply_workload_arg(argv[i], &workload)) return 2;
+    }
+    return cmd_run(spec, workload);
+  }
+  if (command == "count" || command == "stats") {
+    // `<spec> <threads> <ops> [batch] [tail]` or
+    // `<kind> <width> <threads> <ops> [batch] [tail]`; the positional form
+    // defaults to the rt family (the original behaviour of both commands).
+    std::string text;
+    int base;
+    if (looks_like_spec(argv[2]) && argc >= 5) {
+      text = kind;
+      base = 3;
+    } else if (argc >= 6) {
+      text = "rt:" + kind + ":" + argv[3];
+      base = 4;
+    } else {
+      return usage();
+    }
+    run::Workload workload;
+    workload.threads = std::max(1u, static_cast<std::uint32_t>(std::atoi(argv[base])));
+    workload.total_ops = std::strtoull(argv[base + 1], nullptr, 10);
+    workload.batch =
+        argc > base + 2 ? std::max(1u, static_cast<std::uint32_t>(std::atoi(argv[base + 2])))
+                        : 16;
+    const std::string tail = argc > base + 3 ? argv[base + 3] : "";
+    if (command == "count") {
+      if (!tail.empty() && tail != "plan" && tail != "walk") {
+        std::fprintf(stderr, "unknown engine '%s' (expected 'plan' or 'walk')\n", tail.c_str());
+        return 2;
+      }
+      if (tail == "walk") text += text.find('?') == std::string::npos ? "?engine=walk"
+                                                                      : "&engine=walk";
+      return cmd_run(parse_spec_or_exit(text), workload);
+    }
+    return cmd_stats(parse_spec_or_exit(text), workload, tail);
   }
   return usage();
 }
