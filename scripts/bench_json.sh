@@ -3,14 +3,17 @@
 # throughput benches (compiled plan vs graph walk, batched vs single) and the
 # psim engine benches (timing wheel vs retired heap on the fig5-shaped mix),
 # merging both google-benchmark JSON reports into BENCH_rt.json at the repo
-# root, and the observability-overhead benches (metrics off / sampled /
-# full / traced; see docs/OBSERVABILITY.md) into BENCH_obs.json. Pass
-# different output paths as $1 and $2.
+# root; the observability-overhead benches (metrics off / sampled /
+# full / traced; see docs/OBSERVABILITY.md) into BENCH_obs.json; and the mp
+# engine comparison (lock-free fast path vs locked oracle, bitonic + tree,
+# 1..8 client threads) into BENCH_mp.json. Pass different output paths as
+# $1, $2 and $3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_rt.json}"
 obs_out="${2:-BENCH_obs.json}"
+mp_out="${3:-BENCH_mp.json}"
 min_time="${BENCH_MIN_TIME:-0.1}"
 
 [ -x build/bench/throughput_rt ] || { echo "build first: cmake -B build && cmake --build build" >&2; exit 1; }
@@ -60,3 +63,20 @@ build/bench/obs_overhead \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json >"$obs_out"
 echo "wrote $obs_out ($(python3 -c "import json;print(len(json.load(open('$obs_out'))['benchmarks']))") benchmarks)"
+
+build/bench/throughput_mp \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json >"$mp_out"
+echo "wrote $mp_out ($(python3 -c "import json;print(len(json.load(open('$mp_out'))['benchmarks']))") benchmarks)"
+
+# Same key guard for the mp series: both engines must be present or the
+# lockfree-vs-locked comparison silently degenerates.
+python3 - "$mp_out" <<'EOF'
+import json, sys
+required = ["BM_MpLockFree", "BM_MpLocked", "BM_MpTreeLockFree", "BM_MpTreeLocked"]
+with open(sys.argv[1]) as f:
+    names = {b["name"] for b in json.load(f)["benchmarks"]}
+missing = [r for r in required if not any(n.startswith(r) for n in names)]
+if missing:
+    sys.exit(f"benchmark series missing from {sys.argv[1]}: {', '.join(missing)}")
+EOF

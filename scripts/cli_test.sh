@@ -54,13 +54,17 @@ check_output "spec diagnostics echo the spec" "bogus:bitonic:8" \
   "$CLI" run "bogus:bitonic:8"
 
 # --- spec-driven run on every family ---------------------------------------
-for spec in "sim:bitonic:8" "psim:bitonic:8" "rt:bitonic:8" "mp:bitonic:8?actors=2"; do
+for spec in "sim:bitonic:8" "psim:bitonic:8" "rt:bitonic:8" "mp:bitonic:8?actors=2" \
+            "mp:bitonic:8?actors=2&engine=lockfree" "mp:bitonic:8?actors=2&engine=locked"; do
   check "run $spec" "$CLI" run "$spec" threads=2 ops=200 seed=5
 done
 check_output "run report prints the canonical spec" "rt:bitonic:8?engine=walk" \
   "$CLI" run "rt:bitonic:8?engine=walk" threads=2 ops=100
 check "run with poisson arrivals" "$CLI" run "sim:bitonic:8" arrival=poisson rate=2 ops=100
 check_rc "psim rejects open-loop arrivals" 2 "$CLI" run "psim:bitonic:8" arrival=poisson rate=2
+check_rc "bad mp engine exits 2" 2 "$CLI" run "mp:bitonic:8?engine=spinning"
+check "mp accepts per-node delay injection" \
+  "$CLI" run "mp:bitonic:8?actors=2" threads=4 ops=200 f=0.5 wait=200 seed=5
 
 # --- count/verify accept both forms ----------------------------------------
 check "count, positional form" "$CLI" count bitonic 8 2 1000

@@ -1,0 +1,22 @@
+// The actor runtime's message: a 64-bit payload plus a context pointer.
+// Network tokens carry their response cell through `context` and the
+// paper's per-node delay W (busy-wait nanoseconds, 0 for none) through
+// `payload` — see mp::NetworkService.
+//
+// Split out of actor_runtime.h so the lock-free mailbox primitives
+// (mp/mpsc_queue.h, mp/message_pool.h) can name the payload type without
+// pulling in the runtime.
+#pragma once
+
+#include <cstdint>
+
+namespace cnet::mp {
+
+using ActorId = std::uint32_t;
+
+struct Message {
+  std::uint64_t payload = 0;
+  void* context = nullptr;
+};
+
+}  // namespace cnet::mp

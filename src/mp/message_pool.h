@@ -1,0 +1,98 @@
+// MessagePool: slab-backed, thread-cached allocator for MpscNode mailbox
+// entries — the reason a steady-state actor send never touches malloc.
+//
+// Shape (the firedancer idiom of preallocated frame pools, adapted to an
+// unknown client-thread population):
+//
+//   * storage is allocated in slabs of kSlabNodes nodes, owned by the pool
+//     and freed only by its destructor — nodes are never returned to the
+//     system individually, so a node pointer is valid for the pool's whole
+//     lifetime;
+//   * each (thread, pool) pair gets a small private freelist cache;
+//     acquire/release are plain pointer pushes/pops on it — no atomics, no
+//     locks, no allocation;
+//   * caches re-balance through a mutex-guarded shared freelist in batches
+//     of kExchangeBatch nodes. The mp traffic pattern is asymmetric (client
+//     threads allocate one node per count() and never free; workers free
+//     depth+1 and allocate depth per operation), so clients refill from the
+//     shared list and workers donate their surplus back — each thread takes
+//     the lock once per kExchangeBatch operations, off the per-message path.
+//
+// Steady state is allocation-free: once the slab population covers the peak
+// in-flight message count plus the cache working set, stats().slabs stops
+// moving (asserted by tests/mp_mpsc_queue_test.cpp and the bench).
+//
+// Thread caches survive the pool they belong to (they live in TLS); each
+// cache entry is keyed by (pool address, pool generation) where generations
+// are process-unique, so an entry whose pool died — or whose address was
+// reused by a younger pool — is detected and its dangling node pointers are
+// dropped without being dereferenced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mp/mpsc_queue.h"
+
+namespace cnet::mp {
+
+class MessagePool {
+ public:
+  /// Nodes per slab allocation (the only malloc the pool ever does).
+  static constexpr std::uint32_t kSlabNodes = 128;
+  /// Nodes moved per shared-list exchange (refill or donation).
+  static constexpr std::uint32_t kExchangeBatch = 64;
+  /// A thread cache donates down to kCacheMax - kExchangeBatch once it
+  /// grows past kCacheMax nodes.
+  static constexpr std::uint32_t kCacheMax = 160;
+
+  MessagePool();
+  ~MessagePool();
+
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  /// One mailbox node, freshly reusable. Lock-free and allocation-free
+  /// except when the calling thread's cache is empty (then one mutex-guarded
+  /// batch refill, and a slab allocation only if the shared list is dry).
+  MpscNode* acquire();
+
+  /// Returns a node to the calling thread's cache; donates a batch to the
+  /// shared list when the cache overflows.
+  void release(MpscNode* node);
+
+  /// Allocation counters for the steady-state tests and bench: once warm,
+  /// `slabs`/`nodes` must stop growing while `refills`/`donations` keep
+  /// pace with traffic.
+  struct Stats {
+    std::uint64_t slabs = 0;      ///< slab mallocs (kSlabNodes nodes each)
+    std::uint64_t nodes = 0;      ///< total nodes ever created
+    std::uint64_t refills = 0;    ///< batch takes from the shared list
+    std::uint64_t donations = 0;  ///< batch gives to the shared list
+  };
+  Stats stats() const;
+
+ private:
+  struct Cache;  // the TLS entry type, private to the .cpp
+
+  /// This thread's cache slots (fixed-size array; see kCacheSlots in the
+  /// .cpp). A static member so the thread_local can name the private type.
+  static Cache* tls_slots();
+
+  Cache& cache_for_this_thread();
+  void refill(Cache& cache);
+  void donate(Cache& cache);
+
+  const std::uint64_t generation_;  ///< process-unique pool identity
+
+  mutable std::mutex mutex_;
+  MpscNode* shared_head_ = nullptr;  ///< freelist chained through node->next
+  std::uint64_t shared_size_ = 0;
+  std::vector<std::unique_ptr<MpscNode[]>> slabs_;
+  std::uint64_t refills_ = 0;
+  std::uint64_t donations_ = 0;
+};
+
+}  // namespace cnet::mp

@@ -1,13 +1,29 @@
 #include "mp/network_service.h"
 
+#include <chrono>
+
+#include "mp/response_cell.h"
 #include "obs/backend_metrics.h"
 #include "util/assert.h"
 
 namespace cnet::mp {
+namespace {
+
+/// The paper's W is busy time, not blocked time — same realization as the
+/// rt delay hook (run::/rt:: keep their own copy; mp sits below run in the
+/// layering, so it cannot borrow that one).
+void busy_wait_ns(std::uint64_t ns) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // burn
+  }
+}
+
+}  // namespace
 
 NetworkService::NetworkService(topo::Network net, Options options)
     : net_(std::move(net)),
-      runtime_(options.workers),
+      runtime_(ActorRuntime::Options{options.workers, options.engine}),
       node_counts_(net_.node_count(), 0),
       output_counts_(net_.output_width(), 0) {
 #if CNET_OBS
@@ -18,7 +34,9 @@ NetworkService::NetworkService(topo::Network net, Options options)
   }
 #endif
   // Balancer actors: route the token to output port (count++ mod fan_out)
-  // and forward it to the next balancer actor or counter actor.
+  // and forward it to the next balancer actor or counter actor. A non-zero
+  // payload is the token's per-node delay W in ns, busy-waited after the
+  // transition and carried along unchanged.
   node_actors_.reserve(net_.node_count());
   for (topo::NodeId id = 0; id < net_.node_count(); ++id) {
     node_actors_.push_back(runtime_.add_actor([this, id](ActorId, const Message& message) {
@@ -33,6 +51,7 @@ NetworkService::NetworkService(topo::Network net, Options options)
 #endif
       const std::uint64_t t = node_counts_[id]++;
       const topo::OutLink next = node.out[t % node.fan_out];
+      if (message.payload != 0) busy_wait_ns(message.payload);
       if (next.node == topo::kNoNode) {
         runtime_.send(counter_actors_[next.port], message);
       } else {
@@ -40,46 +59,50 @@ NetworkService::NetworkService(topo::Network net, Options options)
       }
     }));
   }
-  // Counter actors: assign the value and wake the client.
+  // Counter actors: assign the value and wake the client through the
+  // engine's completion protocol.
+  const bool futex_cells = options.engine == Engine::kLockFree;
   counter_actors_.reserve(net_.output_width());
   for (std::uint32_t port = 0; port < net_.output_width(); ++port) {
-    counter_actors_.push_back(runtime_.add_actor([this, port](ActorId, const Message& message) {
+    counter_actors_.push_back(
+        runtime_.add_actor([this, port, futex_cells](ActorId, const Message& message) {
 #if CNET_OBS
-      if (metrics_ != nullptr) {
-        const auto actor = static_cast<std::uint32_t>(net_.node_count()) + port;
-        metrics_->counter_messages.add(actor);
-        metrics_->actor_messages.add(actor, actor);
-      }
+          if (metrics_ != nullptr) {
+            const auto actor = static_cast<std::uint32_t>(net_.node_count()) + port;
+            metrics_->counter_messages.add(actor);
+            metrics_->actor_messages.add(actor, actor);
+          }
 #endif
-      const std::uint64_t a = output_counts_[port]++;
-      auto* cell = static_cast<ResponseCell*>(message.context);
-      {
-        const std::scoped_lock lock(cell->mutex);
-        cell->value = port + a * net_.output_width();
-        cell->done = true;
-      }
-      cell->cv.notify_one();
-    }));
+          const std::uint64_t a = output_counts_[port]++;
+          const std::uint64_t value = port + a * net_.output_width();
+          auto* cell = static_cast<ResponseCell*>(message.context);
+          if (futex_cells) {
+            cell->complete_futex(value);
+          } else {
+            cell->complete_locked(value);
+          }
+        }));
   }
   runtime_.start();
 }
 
-std::uint64_t NetworkService::count(std::uint32_t input) {
+std::uint64_t NetworkService::count_delayed(std::uint32_t input, std::uint64_t wait_ns) {
   CNET_CHECK(input < net_.input_width());
 #if CNET_OBS
   const std::uint64_t t_start = metrics_ != nullptr ? obs::now_ns() : 0;
 #endif
-  ResponseCell cell;
-  runtime_.send(node_actors_[net_.inputs()[input].node], Message{0, &cell});
-  std::unique_lock lock(cell.mutex);
-  cell.cv.wait(lock, [&cell] { return cell.done; });
+  ResponseCell* cell = ResponseCellCache::acquire();
+  runtime_.send(node_actors_[net_.inputs()[input].node], Message{wait_ns, cell});
+  const std::uint64_t value = runtime_.engine() == Engine::kLockFree ? cell->await_futex()
+                                                                     : cell->await_locked();
+  ResponseCellCache::release(cell);
 #if CNET_OBS
   if (metrics_ != nullptr) {
     metrics_->tokens.add(input);
     metrics_->count_latency_ns.record(input, obs::now_ns() - t_start);
   }
 #endif
-  return cell.value;
+  return value;
 }
 
 }  // namespace cnet::mp

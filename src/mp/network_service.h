@@ -7,19 +7,26 @@
 // threads: balancer transitions are serialized per actor (instantaneous
 // w.r.t. each other), and link traversal times are whatever the scheduler
 // makes them — which is exactly the c1/c2 variability the paper studies.
+// The paper's per-node delay W is injectable per token (count_delayed):
+// the hosting worker busy-waits W ns after each balancer transition before
+// forwarding, the message-passing analogue of rt's next_hooked() hook.
+//
+// The hot path rides the ActorRuntime engine the options select: the
+// lock-free default (pooled MPSC mailboxes, sharded run queues, futex
+// response cells) or the locked oracle (mutex+condvar throughout). Both
+// use pooled, thread-cached response cells — count() allocates nothing.
 //
 // Observability: point Options::metrics at an obs::MpMetrics to record the
 // per-actor message breakdown, mailbox-depth distribution, and client
 // count() latency (docs/OBSERVABILITY.md documents every metric).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "mp/actor_runtime.h"
+#include "mp/message_pool.h"
 #include "topo/network.h"
 
 namespace cnet::obs {
@@ -34,8 +41,12 @@ namespace cnet::mp {
 class NetworkService {
  public:
   struct Options {
-    /// Worker threads draining the actor run queue.
+    /// Worker threads draining the actor run queues.
     std::uint32_t workers = 2;
+
+    /// Runtime hot path: the lock-free fast path (default) or the original
+    /// mutex+condvar oracle (`engine=locked` in the spec grammar).
+    Engine engine = Engine::kLockFree;
 
     /// Observability sink (borrowed; may be null — the default — for zero
     /// instrumentation cost; ignored in CNET_OBS=0 builds).
@@ -48,7 +59,12 @@ class NetworkService {
 
   /// Performs one counting operation through network input `input`;
   /// blocks until the token's value message arrives. Thread-safe.
-  std::uint64_t count(std::uint32_t input);
+  std::uint64_t count(std::uint32_t input) { return count_delayed(input, 0); }
+
+  /// As count(), with the paper's W: the token's hosting worker busy-waits
+  /// `wait_ns` after every balancer transition before forwarding. 0 is the
+  /// plain fast path.
+  std::uint64_t count_delayed(std::uint32_t input, std::uint64_t wait_ns);
 
   /// The topology this service executes (the construction-time copy).
   const topo::Network& network() const { return net_; }
@@ -57,14 +73,13 @@ class NetworkService {
   /// deliveries); see obs::MpMetrics for the per-actor breakdown.
   std::uint64_t messages_processed() const { return runtime_.messages_processed(); }
 
- private:
-  struct ResponseCell {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    std::uint64_t value = 0;
-  };
+  Engine engine() const { return runtime_.engine(); }
 
+  /// Mailbox-node pool counters (zeros on the locked engine); the
+  /// steady-state allocation tests pin `slabs` between snapshots.
+  MessagePool::Stats pool_stats() const { return runtime_.pool_stats(); }
+
+ private:
   topo::Network net_;
   obs::MpMetrics* metrics_ = nullptr;  ///< null unless CNET_OBS wiring is live
   ActorRuntime runtime_;

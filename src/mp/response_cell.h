@@ -1,0 +1,132 @@
+// ResponseCell: the rendezvous a blocked count() client waits on until the
+// output-counter actor delivers its value — with a thread-local cell cache
+// so neither engine constructs (or heap-allocates) synchronization state
+// per operation.
+//
+// Two completion protocols share the cell, selected by the service's engine:
+//
+//   * futex path (lock-free engine): one std::atomic<uint64_t> slot. The
+//     client spins briefly then atomic-waits; the counter actor stores the
+//     value and notify_one()s only the sleeping case costs a syscall.
+//   * condvar path (locked engine, the oracle): the seed's mutex + condvar
+//     handshake, with the notify moved *under* the lock — the waiter cannot
+//     return (and recycle the cell) until the completer has released the
+//     mutex, which closes the seed's notify-after-unlock lifetime race.
+//
+// Cells are cached per client thread (acquire/release below) and freed only
+// at thread exit, so the futex path's post-store notify always targets a
+// mapped, live atomic: at worst it spuriously wakes the cell's next
+// operation, whose wait loop re-checks the pending sentinel.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/spin.h"
+
+namespace cnet::mp {
+
+class ResponseCell {
+ public:
+  /// Counter values are token ranks (port + a * width); all-ones cannot
+  /// occur for any realizable history, so it marks "no value yet".
+  static constexpr std::uint64_t kPending = ~std::uint64_t{0};
+
+  /// Re-arm a recycled cell. Call before handing it to a token.
+  void reset() {
+    slot_.store(kPending, std::memory_order_relaxed);
+    done_ = false;
+  }
+
+  // --- futex protocol (lock-free engine) --------------------------------
+
+  void complete_futex(std::uint64_t value) {
+    slot_.store(value, std::memory_order_release);
+    slot_.notify_one();
+  }
+
+  std::uint64_t await_futex() {
+    std::uint64_t value = slot_.load(std::memory_order_acquire);
+    for (int i = 0; value == kPending && i < 64; ++i) {
+      cpu_relax();  // a token in flight often lands within a few hops' time
+      value = slot_.load(std::memory_order_acquire);
+    }
+    while (value == kPending) {
+      slot_.wait(kPending, std::memory_order_acquire);
+      value = slot_.load(std::memory_order_acquire);
+    }
+    return value;
+  }
+
+  // --- condvar protocol (locked engine) ---------------------------------
+
+  void complete_locked(std::uint64_t value) {
+    const std::scoped_lock lock(mutex_);
+    value_ = value;
+    done_ = true;
+    cv_.notify_one();  // under the lock: see the header
+  }
+
+  std::uint64_t await_locked() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return done_; });
+    return value_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> slot_{kPending};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::uint64_t value_ = 0;
+};
+
+namespace detail {
+/// Process-wide count of cells ever constructed; the pooling test pins it
+/// across a burst of operations.
+inline std::atomic<std::uint64_t> g_response_cells_created{0};
+}  // namespace detail
+
+/// Thread-local cell cache. A cell is owned by exactly one in-flight
+/// operation of the acquiring thread, so no synchronization is needed; the
+/// cache (and its cells) lives until the thread exits.
+class ResponseCellCache {
+ public:
+  static ResponseCell* acquire() {
+    Tls& tls = tls_instance();
+    if (tls.free_cells.empty()) {
+      tls.owned.push_back(std::make_unique<ResponseCell>());
+      detail::g_response_cells_created.fetch_add(1, std::memory_order_relaxed);
+      tls.free_cells.push_back(tls.owned.back().get());
+    }
+    ResponseCell* cell = tls.free_cells.back();
+    tls.free_cells.pop_back();
+    cell->reset();
+    return cell;
+  }
+
+  static void release(ResponseCell* cell) { tls_instance().free_cells.push_back(cell); }
+
+  /// Total cells constructed process-wide (monotone; for tests).
+  static std::uint64_t cells_created() {
+    return detail::g_response_cells_created.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Tls {
+    std::vector<std::unique_ptr<ResponseCell>> owned;
+    std::vector<ResponseCell*> free_cells;
+  };
+
+  static Tls& tls_instance() {
+    thread_local Tls tls;
+    return tls;
+  }
+};
+
+}  // namespace cnet::mp

@@ -44,6 +44,7 @@ rt::CounterOptions rt_options(const BackendSpec& spec, obs::CounterMetrics* metr
 mp::NetworkService::Options mp_options(const BackendSpec& spec, obs::MpMetrics* metrics) {
   mp::NetworkService::Options options;
   options.workers = spec.actors;
+  options.engine = spec.mp_locked ? mp::Engine::kLocked : mp::Engine::kLockFree;
   options.metrics = metrics;
   return options;
 }
@@ -89,8 +90,9 @@ void CountingBackend::count_batch(std::uint32_t thread_id, std::span<std::uint64
 }
 
 std::uint64_t CountingBackend::count_delayed(std::uint32_t thread_id, std::uint64_t) {
-  // Backends that cannot reach inside a traversal run the plain operation;
-  // the Runner rejects workloads whose delay injection would be silent.
+  // A backend that cannot reach inside a traversal runs the plain
+  // operation; the Runner rejects workloads whose delay injection would be
+  // silent. Both live families (rt, mp) currently override this.
   return count(thread_id);
 }
 
@@ -141,6 +143,10 @@ MpBackend::MpBackend(const BackendSpec& spec)
 
 std::uint64_t MpBackend::count(std::uint32_t thread_id) {
   return service_.count(thread_id % network().input_width());
+}
+
+std::uint64_t MpBackend::count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) {
+  return service_.count_delayed(thread_id % network().input_width(), wait_ns);
 }
 
 void MpBackend::register_metrics(obs::MetricsRegistry& registry) const {

@@ -64,8 +64,9 @@ class CountingBackend {
   /// Claims out.size() values in one call (batched where the backend can).
   virtual void count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out);
   /// As count(), busy-waiting `wait_ns` after every node traversal — the
-  /// paper's W injection. Backends that cannot reach inside a traversal
-  /// (mp) fall back to plain count(); the Runner rejects such workloads.
+  /// paper's W injection. rt hooks the caller's own walk; mp carries the
+  /// wait in the token message and the hosting worker burns it after each
+  /// balancer transition.
   virtual std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns);
 
   // -- simulated backends only (CHECK-fails on live ones) --------------
@@ -121,6 +122,7 @@ class MpBackend final : public CountingBackend {
   const char* time_unit() const override { return "ns"; }
 
   std::uint64_t count(std::uint32_t thread_id) override;
+  std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) override;
 
   void register_metrics(obs::MetricsRegistry& registry) const override;
 

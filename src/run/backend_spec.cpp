@@ -224,7 +224,20 @@ bool apply_mp_option(const Parser& p, const Option& opt, BackendSpec* spec) {
     }
     return true;
   }
-  return p.fail("unknown mp option '" + std::string(opt.key) + "' (valid: actors, pad, metrics)");
+  if (opt.key == "engine") {
+    if (opt.value == "lockfree") {
+      spec->mp_locked = false;
+      return true;
+    }
+    if (opt.value == "locked") {
+      spec->mp_locked = true;
+      return true;
+    }
+    return p.fail("option 'engine' takes lockfree|locked (got '" + std::string(opt.value) +
+                  "')");
+  }
+  return p.fail("unknown mp option '" + std::string(opt.key) +
+                "' (valid: actors, engine, pad, metrics)");
 }
 
 bool validate_combination(const Parser& p, BackendSpec* spec) {
@@ -389,6 +402,7 @@ std::string BackendSpec::to_string() const {
     }
     case Family::kMp:
       if (actors != defaults.actors) opts.push_back("actors=" + std::to_string(actors));
+      if (mp_locked) opts.push_back("engine=locked");
       break;
   }
   if (pad_ratio != defaults.pad_ratio) opts.push_back("pad=" + std::to_string(pad_ratio));

@@ -89,8 +89,11 @@ struct BackendSpec {
   double c2 = 2.0;                        ///< `c2=<t>` — slowest link time
 
   // -- mp -------------------------------------------------------------
-  /// `actors=<n>`: worker threads draining the actor run queue.
+  /// `actors=<n>`: worker threads draining the actor run queues.
   std::uint32_t actors = 2;
+  /// `engine=locked` selects the mutex+condvar oracle runtime over the
+  /// default lock-free MPSC-mailbox engine (`engine=lockfree`).
+  bool mp_locked = false;
 
   /// Canonical spec string: parse(to_string()) reproduces this spec exactly
   /// (options in fixed order, defaults omitted).

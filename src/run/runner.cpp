@@ -134,10 +134,6 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
     return reject(std::move(report), "delayed_fraction must be in [0, 1]");
   }
   const Family family = backend.spec().family;
-  if (family == Family::kMp && workload.delayed_fraction > 0.0 && workload.wait > 0) {
-    return reject(std::move(report),
-                  "mp cannot inject per-node delays (clients cannot reach inside an actor hop)");
-  }
   if (family == Family::kRt && workload.threads > backend.spec().max_threads) {
     return reject(std::move(report),
                   "workload threads exceed the spec's threads=" +

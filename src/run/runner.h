@@ -63,7 +63,7 @@ class Runner {
  public:
   /// Executes `workload` on `backend`. Rejects — with a diagnostic, never
   /// an abort — combinations the backend cannot honour (open-loop arrivals
-  /// on psim, delay injection on mp, more rt threads than the spec's
+  /// on psim, more rt threads than the spec's
   /// bound). The backend should be freshly constructed: the counting check
   /// assumes values start at 0.
   RunReport run(CountingBackend& backend, const Workload& workload);

@@ -48,8 +48,9 @@ struct Workload {
   /// The paper's §5 delay injection: round(delayed_fraction * threads)
   /// issuers wait `wait` after every node traversal (psim's
   /// delayed_fraction/wait_cycles; busy-wait ns on rt; extra link time on
-  /// sim's closed loop, Bernoulli per token on its open loops; unsupported
-  /// on mp, where clients cannot reach inside an actor hop).
+  /// sim's closed loop, Bernoulli per token on its open loops; on mp the
+  /// token message carries the wait and the hosting worker burns it after
+  /// each balancer transition).
   double delayed_fraction = 0.0;
   std::uint64_t wait = 0;
 

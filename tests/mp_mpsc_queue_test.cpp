@@ -1,0 +1,258 @@
+// Unit tests for the lock-free building blocks under the mp fast path:
+// the Vyukov MPSC mailbox queue, the bounded MPMC run-queue ring, and the
+// slab-backed thread-cached MessagePool. These pin the properties the
+// ActorRuntime's scheduling invariant leans on — per-producer FIFO, no
+// lost or duplicated nodes, kRetry (never kEmpty) during a producer's
+// mid-push window, and allocation-free steady-state recycling.
+#include "mp/mpsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mp/message_pool.h"
+
+namespace cnet::mp {
+namespace {
+
+/// Drains one item, asserting the queue never claims empty while `expect`
+/// items remain (kRetry is acceptable: a producer may be mid-push).
+Message pop_one(MpscQueue& queue) {
+  for (;;) {
+    MpscNode* node = nullptr;
+    const MpscQueue::Pop result = queue.pop(&node);
+    if (result == MpscQueue::Pop::kItem) return node->msg;
+    std::this_thread::yield();
+  }
+}
+
+TEST(MpMpscQueue, SingleThreadFifo) {
+  MpscQueue queue;
+  std::vector<MpscNode> nodes(100);
+  for (std::uint64_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].msg = Message{i, nullptr};
+    queue.push(&nodes[i]);
+  }
+  for (std::uint64_t i = 0; i < nodes.size(); ++i) {
+    MpscNode* node = nullptr;
+    ASSERT_EQ(queue.pop(&node), MpscQueue::Pop::kItem);
+    EXPECT_EQ(node->msg.payload, i);
+  }
+  MpscNode* node = nullptr;
+  EXPECT_EQ(queue.pop(&node), MpscQueue::Pop::kEmpty);
+  EXPECT_FALSE(queue.maybe_nonempty());
+}
+
+TEST(MpMpscQueue, StubCyclingSurvivesAlternatingPushPop) {
+  // One-element regime exercises the stub hand-off on every operation.
+  MpscQueue queue;
+  MpscNode node;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    node.msg = Message{i, nullptr};
+    queue.push(&node);
+    EXPECT_TRUE(queue.maybe_nonempty());
+    EXPECT_EQ(pop_one(queue).payload, i);
+    MpscNode* out = nullptr;
+    EXPECT_EQ(queue.pop(&out), MpscQueue::Pop::kEmpty);
+  }
+}
+
+TEST(MpMpscQueue, ManyProducersPreservePerProducerOrderAndLoseNothing) {
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpscQueue queue;
+  // Pre-allocated node storage: nodes are recycled only after consumption,
+  // so each producer owns a disjoint slice.
+  std::vector<MpscNode> nodes(kProducers * kPerProducer);
+  std::vector<std::uint64_t> next_expected(kProducers, 0);
+  std::vector<std::uint64_t> popped;
+  popped.reserve(nodes.size());
+
+  std::jthread consumer([&] {
+    while (popped.size() < nodes.size()) {
+      MpscNode* node = nullptr;
+      if (queue.pop(&node) != MpscQueue::Pop::kItem) {
+        std::this_thread::yield();
+        continue;
+      }
+      const std::uint64_t producer = node->msg.payload / kPerProducer;
+      const std::uint64_t seq = node->msg.payload % kPerProducer;
+      EXPECT_EQ(seq, next_expected[producer]) << "FIFO broken for producer " << producer;
+      next_expected[producer] = seq + 1;
+      popped.push_back(node->msg.payload);
+    }
+  });
+  {
+    std::vector<std::jthread> producers;
+    for (std::uint64_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&queue, &nodes, p] {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          MpscNode& node = nodes[p * kPerProducer + i];
+          node.msg = Message{p * kPerProducer + i, nullptr};
+          queue.push(&node);
+        }
+      });
+    }
+  }
+  consumer.join();
+  // Drain-all: every pushed payload came out exactly once.
+  std::sort(popped.begin(), popped.end());
+  ASSERT_EQ(popped.size(), nodes.size());
+  for (std::uint64_t i = 0; i < popped.size(); ++i) EXPECT_EQ(popped[i], i);
+}
+
+TEST(MpMpscQueue, MaybeNonemptyTracksContent) {
+  MpscQueue queue;
+  EXPECT_FALSE(queue.maybe_nonempty());
+  MpscNode a;
+  MpscNode b;
+  queue.push(&a);
+  queue.push(&b);
+  EXPECT_TRUE(queue.maybe_nonempty());
+  pop_one(queue);
+  EXPECT_TRUE(queue.maybe_nonempty());  // b still queued
+  pop_one(queue);
+  EXPECT_FALSE(queue.maybe_nonempty());
+}
+
+TEST(MpRunQueue, PushPopRoundTripsFifo) {
+  MpmcRing ring;
+  ring.init(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99)) << "ring accepted a push past capacity";
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    std::uint32_t value = 0;
+    ASSERT_TRUE(ring.pop(&value));
+    EXPECT_EQ(value, i);
+  }
+  std::uint32_t value = 0;
+  EXPECT_FALSE(ring.pop(&value)) << "ring popped from empty";
+}
+
+TEST(MpRunQueue, InitRoundsCapacityUp) {
+  MpmcRing ring;
+  ring.init(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(MpRunQueue, ConcurrentPushersAndStealersLoseNothing) {
+  // The runtime's usage: several threads push actor ids, several pop
+  // (own-shard drain + steals). Every pushed id must come out exactly once.
+  constexpr std::uint32_t kPushers = 3;
+  constexpr std::uint32_t kPoppers = 3;
+  constexpr std::uint32_t kPerPusher = 20000;
+  MpmcRing ring;
+  ring.init(kPushers * kPerPusher);  // never full: push cannot fail
+
+  std::vector<std::vector<std::uint32_t>> taken(kPoppers);
+  std::atomic<std::uint32_t> total_taken{0};
+  {
+    std::vector<std::jthread> threads;
+    for (std::uint32_t t = 0; t < kPoppers; ++t) {
+      threads.emplace_back([&ring, &taken, &total_taken, t] {
+        while (total_taken.load(std::memory_order_relaxed) < kPushers * kPerPusher) {
+          std::uint32_t value = 0;
+          if (ring.pop(&value)) {
+            taken[t].push_back(value);
+            total_taken.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (std::uint32_t p = 0; p < kPushers; ++p) {
+      threads.emplace_back([&ring, p] {
+        for (std::uint32_t i = 0; i < kPerPusher; ++i) {
+          ASSERT_TRUE(ring.push(p * kPerPusher + i));
+        }
+      });
+    }
+  }
+  std::vector<std::uint32_t> all;
+  for (auto& v : taken) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kPushers) * kPerPusher);
+  for (std::uint32_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(MpMessagePool, RecyclesNodesWithoutNewSlabs) {
+  MessagePool pool;
+  // First acquire allocates the first slab.
+  MpscNode* first = pool.acquire();
+  pool.release(first);
+  const MessagePool::Stats warm = pool.stats();
+  EXPECT_EQ(warm.slabs, 1u);
+  EXPECT_EQ(warm.nodes, MessagePool::kSlabNodes);
+  // A working set far smaller than the slab recycles through the cache.
+  for (int round = 0; round < 10000; ++round) {
+    MpscNode* a = pool.acquire();
+    MpscNode* b = pool.acquire();
+    pool.release(a);
+    pool.release(b);
+  }
+  const MessagePool::Stats after = pool.stats();
+  EXPECT_EQ(after.slabs, warm.slabs);
+  EXPECT_EQ(after.nodes, warm.nodes);
+}
+
+TEST(MpMessagePool, GrowsOnlyWithTheLiveWorkingSet) {
+  MessagePool pool;
+  std::vector<MpscNode*> held;
+  constexpr std::uint32_t kHeld = 3 * MessagePool::kSlabNodes;
+  for (std::uint32_t i = 0; i < kHeld; ++i) held.push_back(pool.acquire());
+  const MessagePool::Stats grown = pool.stats();
+  EXPECT_GE(grown.nodes, kHeld);
+  for (MpscNode* node : held) pool.release(node);
+  // Everything returned: repeat the same demand without any new slab.
+  held.clear();
+  for (std::uint32_t i = 0; i < kHeld; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.stats().slabs, grown.slabs);
+  for (MpscNode* node : held) pool.release(node);
+}
+
+TEST(MpMessagePool, CrossThreadFlowRefillsAndDonates) {
+  // The mp traffic shape: one thread only acquires, another only releases.
+  // The pool must circulate nodes through the shared list (refills on the
+  // acquiring side, donations on the releasing side) without unbounded
+  // growth once the pipeline depth is covered.
+  MessagePool pool;
+  constexpr std::uint32_t kMessages = 50000;
+  constexpr std::uint32_t kWindow = 512;  // producer-side backpressure
+  MpscQueue queue;
+  std::atomic<std::uint32_t> in_flight{0};
+  std::jthread consumer([&] {
+    std::uint32_t seen = 0;
+    while (seen < kMessages) {
+      MpscNode* node = nullptr;
+      if (queue.pop(&node) == MpscQueue::Pop::kItem) {
+        pool.release(node);
+        in_flight.fetch_sub(1, std::memory_order_relaxed);
+        ++seen;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    while (in_flight.load(std::memory_order_relaxed) >= kWindow) std::this_thread::yield();
+    MpscNode* node = pool.acquire();
+    node->msg = Message{i, nullptr};
+    in_flight.fetch_add(1, std::memory_order_relaxed);
+    queue.push(node);
+  }
+  consumer.join();
+  const MessagePool::Stats stats = pool.stats();
+  EXPECT_GT(stats.refills, 0u);
+  EXPECT_GT(stats.donations, 0u);
+  // Growth is bounded by the in-flight window plus the cache working set,
+  // not by traffic: 50k messages must not need anywhere near 50k nodes.
+  EXPECT_LT(stats.nodes, 4096u);
+}
+
+}  // namespace
+}  // namespace cnet::mp

@@ -70,15 +70,18 @@ TEST(RunConformance, SameSeededWorkloadOnAllFourFamilies) {
 
 TEST(RunConformance, DelayedFractionMatrix) {
   // The paper's F/W injection: a quarter of issuers stall after every
-  // node. Counting and step properties must survive on every family
-  // that supports injection (all but mp).
+  // node. Counting and step properties must survive on every family —
+  // including mp, where the token message carries the wait and the
+  // hosting worker burns it after each balancer transition.
   Workload workload;
   workload.threads = 4;
   workload.total_ops = 200;
   workload.delayed_fraction = 0.25;
   workload.wait = 200;
   workload.seed = 13;
-  for (const std::string spec : {"sim:bitonic:8", "psim:bitonic:8", "rt:bitonic:8"}) {
+  for (const std::string spec :
+       {"sim:bitonic:8", "psim:bitonic:8", "rt:bitonic:8", "mp:bitonic:8?actors=2",
+        "mp:bitonic:8?actors=2&engine=locked"}) {
     SCOPED_TRACE(spec);
     expect_conformant(run_spec(spec, workload), spec);
   }
@@ -134,12 +137,10 @@ TEST(RunConformance, RunnerRejectsImpossibleCombinations) {
   workload.threads = 0;
   EXPECT_FALSE(run_spec("rt:bitonic:8", workload).ok);
 
-  workload.threads = 4;
-  workload.delayed_fraction = 0.5;
-  workload.wait = 100;
-  const RunReport mp = run_spec("mp:bitonic:4", workload);
-  EXPECT_FALSE(mp.ok);
-  EXPECT_NE(mp.error.find("mp cannot inject"), std::string::npos);
+  Workload bad_fraction;
+  bad_fraction.threads = 4;
+  bad_fraction.delayed_fraction = 1.5;
+  EXPECT_FALSE(run_spec("mp:bitonic:4", bad_fraction).ok);
 
   Workload wide;
   wide.threads = 9;

@@ -48,6 +48,9 @@ TEST(RunSpec, ParsesTheIssueExamples) {
   BackendSpec mp = parse_ok("mp:bitonic:8?actors=4");
   EXPECT_EQ(mp.family, Family::kMp);
   EXPECT_EQ(mp.actors, 4u);
+  EXPECT_FALSE(mp.mp_locked);
+  EXPECT_TRUE(parse_ok("mp:bitonic:8?engine=locked").mp_locked);
+  EXPECT_FALSE(parse_ok("mp:bitonic:8?engine=lockfree").mp_locked);
 }
 
 TEST(RunSpec, BareFlagsAndOnOffValues) {
@@ -132,6 +135,8 @@ TEST(RunSpec, IllTypedOptionValues) {
   EXPECT_NE(parse_fail("sim:bitonic:8?c1=-1").find("positive time"), std::string::npos);
   EXPECT_NE(parse_fail("sim:bitonic:8?c2=zero").find("positive time"), std::string::npos);
   EXPECT_NE(parse_fail("mp:bitonic:8?actors=0").find(">= 1"), std::string::npos);
+  EXPECT_NE(parse_fail("mp:bitonic:8?engine=spinning").find("lockfree|locked"),
+            std::string::npos);
   EXPECT_NE(parse_fail("rt:bitonic:8?pad=999").find("pad"), std::string::npos);
 }
 
@@ -236,15 +241,17 @@ TEST(RunSpec, SimOptionCrossProduct) {
 
 TEST(RunSpec, MpOptionCrossProduct) {
   for (const char* actors : {"", "actors=1", "actors=8", "workers=3"}) {
-    for (const char* pad : {"", "pad=3"}) {
-      for (const char* metrics : {"", "metrics"}) {
-        std::string options;
-        for (const char* opt : {actors, pad, metrics}) {
-          if (*opt == '\0') continue;
-          options += options.empty() ? "?" : "&";
-          options += opt;
+    for (const char* engine : {"", "engine=lockfree", "engine=locked"}) {
+      for (const char* pad : {"", "pad=3"}) {
+        for (const char* metrics : {"", "metrics"}) {
+          std::string options;
+          for (const char* opt : {actors, engine, pad, metrics}) {
+            if (*opt == '\0') continue;
+            options += options.empty() ? "?" : "&";
+            options += opt;
+          }
+          expect_round_trip("mp:bitonic:8" + options);
         }
-        expect_round_trip("mp:bitonic:8" + options);
       }
     }
   }
