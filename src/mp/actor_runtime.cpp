@@ -252,7 +252,21 @@ void ActorRuntime::lf_enqueue(ActorId id) {
     if (shards_[(shard + attempt) % options_.workers].push(id)) break;
   }
   // Wake syscalls only when somebody actually sleeps: the common loaded
-  // case pays one uncontended load here, nothing more.
+  // case pays one fence + one uncontended load here, nothing more.
+  //
+  // The fence is the eventcount's mandatory StoreLoad edge. MpmcRing::push
+  // publishes the id with a *release* store (cell.seq), and a release store
+  // followed by a load — even a seq_cst load — may be reordered through the
+  // store buffer (store-buffering litmus; real on x86). Without the fence
+  // this thread can read sleepers_ == 0 while a parking worker, whose
+  // registration is already globally visible, re-sweeps the shards and
+  // misses the not-yet-flushed push: nobody bumps the epoch, every worker
+  // stays parked on a runnable actor. The fence pairs with the one in
+  // lf_next_runnable: the two are totally ordered, so either our push is
+  // visible to the parker's post-registration sweep (our fence first) or
+  // its registration is visible to the sleepers_ load below (its fence
+  // first) and we bump + notify.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_seq_cst) != 0) {
     work_epoch_.fetch_add(1, std::memory_order_seq_cst);
     work_epoch_.notify_one();
@@ -286,7 +300,13 @@ bool ActorRuntime::lf_next_runnable(std::uint32_t wid, ActorId* out) {
     // Park. Register as a sleeper first, then re-sweep: a producer that
     // pushed before reading sleepers_ == 0 is caught by this sweep, and one
     // that read sleepers_ != 0 bumps the epoch, so wait(epoch) returns.
+    // The fence between registration and the re-sweep is the consumer half
+    // of the eventcount handshake (see lf_enqueue): it guarantees the sweep
+    // reads the shards *after* the registration is globally visible, so a
+    // producer whose fence ordered earlier has its push seen here, and one
+    // whose fence ordered later sees sleepers_ != 0 and wakes us.
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::uint32_t epoch = work_epoch_.load(std::memory_order_seq_cst);
     if (lf_try_all_shards(wid, out)) {
       sleepers_.fetch_sub(1, std::memory_order_relaxed);

@@ -13,10 +13,18 @@
 //     return (and recycle the cell) until the completer has released the
 //     mutex, which closes the seed's notify-after-unlock lifetime race.
 //
-// Cells are cached per client thread (acquire/release below) and freed only
-// at thread exit, so the futex path's post-store notify always targets a
-// mapped, live atomic: at worst it spuriously wakes the cell's next
-// operation, whose wait loop re-checks the pending sentinel.
+// Cell lifetime is the linchpin of the futex path: the waiter may observe
+// the value through await_futex's spin loop and return *before* the
+// completer reaches its notify_one, so the notify can land on a cell whose
+// operation is already over — and, if cells died with their thread, on a
+// destroyed cell once a client thread (bench/test clients exit right after
+// their last count()) tears down its cache between the completer's store
+// and its notify. Cells therefore live for the whole process: they are
+// cached per client thread (acquire/release below), and at thread exit the
+// cache donates every cell to an immortal arena that future threads adopt
+// from. A late notify always targets a mapped, live atomic; at worst it
+// spuriously wakes the cell's next operation, whose wait loop re-checks the
+// pending sentinel.
 #pragma once
 
 #include <atomic>
@@ -90,16 +98,36 @@ namespace detail {
 /// Process-wide count of cells ever constructed; the pooling test pins it
 /// across a burst of operations.
 inline std::atomic<std::uint64_t> g_response_cells_created{0};
+
+/// Process-lifetime home for every cell: exiting threads donate their
+/// cells here and new threads adopt them back, so a cell is never
+/// destroyed while any completer could still touch it (the file header's
+/// lifetime argument rests on this). The arena itself is constructed with
+/// `new` and never deleted — deliberately outside static destruction
+/// order, since a completer inside a still-live runtime must not race the
+/// arena's teardown. It stays reachable through the function-local static,
+/// so leak checkers do not flag it.
+struct ResponseCellArena {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ResponseCell>> owned;
+  std::vector<ResponseCell*> free_cells;
+
+  static ResponseCellArena& instance() {
+    static auto* arena = new ResponseCellArena();
+    return *arena;
+  }
+};
 }  // namespace detail
 
-/// Thread-local cell cache. A cell is owned by exactly one in-flight
-/// operation of the acquiring thread, so no synchronization is needed; the
-/// cache (and its cells) lives until the thread exits.
+/// Thread-local cell cache over the process-lifetime arena. A cell is owned
+/// by exactly one in-flight operation of the acquiring thread, so the fast
+/// path needs no synchronization; the arena mutex is taken only to adopt a
+/// cell on a cache miss and to donate the cache back at thread exit.
 class ResponseCellCache {
  public:
   static ResponseCell* acquire() {
     Tls& tls = tls_instance();
-    if (tls.free_cells.empty()) {
+    if (tls.free_cells.empty() && !adopt_from_arena(tls)) {
       tls.owned.push_back(std::make_unique<ResponseCell>());
       detail::g_response_cells_created.fetch_add(1, std::memory_order_relaxed);
       tls.free_cells.push_back(tls.owned.back().get());
@@ -112,7 +140,8 @@ class ResponseCellCache {
 
   static void release(ResponseCell* cell) { tls_instance().free_cells.push_back(cell); }
 
-  /// Total cells constructed process-wide (monotone; for tests).
+  /// Total cells constructed process-wide (monotone; for tests). Arena
+  /// adoption recycles, so this pins across thread churn too.
   static std::uint64_t cells_created() {
     return detail::g_response_cells_created.load(std::memory_order_relaxed);
   }
@@ -121,7 +150,29 @@ class ResponseCellCache {
   struct Tls {
     std::vector<std::unique_ptr<ResponseCell>> owned;
     std::vector<ResponseCell*> free_cells;
+
+    /// Thread exit: every cell this thread ever acquired has been released
+    /// (acquire/release bracket each operation on the same thread), so the
+    /// whole cache is free — donate ownership and free pointers to the
+    /// arena instead of destroying anything.
+    ~Tls() {
+      auto& arena = detail::ResponseCellArena::instance();
+      const std::scoped_lock lock(arena.mutex);
+      for (auto& cell : owned) arena.owned.push_back(std::move(cell));
+      arena.free_cells.insert(arena.free_cells.end(), free_cells.begin(), free_cells.end());
+    }
   };
+
+  static bool adopt_from_arena(Tls& tls) {
+    auto& arena = detail::ResponseCellArena::instance();
+    const std::scoped_lock lock(arena.mutex);
+    if (arena.free_cells.empty()) return false;
+    // Ownership stays in the arena (the cell must outlive this thread too);
+    // only the use right moves into the cache.
+    tls.free_cells.push_back(arena.free_cells.back());
+    arena.free_cells.pop_back();
+    return true;
+  }
 
   static Tls& tls_instance() {
     thread_local Tls tls;

@@ -227,6 +227,27 @@ TEST(MpSteadyState, ResponseCellsAreRecycledPerThread) {
       << "count() constructed response cells at steady state";
 }
 
+TEST(MpSteadyState, ResponseCellsSurviveThreadChurn) {
+  // Short-lived client threads are the risky regime for the futex protocol:
+  // a waiter can leave await_futex via the spin loop and its thread can exit
+  // while the completer's notify_one is still in flight. Cells must outlive
+  // the exiting thread (the TLS cache donates them to the process arena),
+  // and later threads must adopt those cells instead of constructing fresh
+  // ones. ASan/LSan in CI vets the lifetime half; the creation count here
+  // pins the adoption half.
+  const topo::Network net = topo::make_bitonic(4);
+  NetworkService service(net, {.workers = 2, .engine = Engine::kLockFree});
+  std::jthread([&service] { service.count(0); }).join();  // donor warm-up
+  const std::uint64_t before = ResponseCellCache::cells_created();
+  for (int round = 0; round < 50; ++round) {
+    std::jthread([&service, round] {
+      for (int i = 0; i < 20; ++i) service.count(static_cast<std::uint32_t>((round + i) % 4));
+    }).join();  // thread exit donates its cell back to the arena
+  }
+  EXPECT_EQ(ResponseCellCache::cells_created(), before)
+      << "exiting clients leaked cells instead of donating them for adoption";
+}
+
 #if CNET_OBS
 class MpObsIntegration : public ::testing::TestWithParam<Engine> {};
 
