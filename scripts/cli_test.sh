@@ -66,6 +66,44 @@ check_rc "bad mp engine exits 2" 2 "$CLI" run "mp:bitonic:8?engine=spinning"
 check "mp accepts per-node delay injection" \
   "$CLI" run "mp:bitonic:8?actors=2" threads=4 ops=200 f=0.5 wait=200 seed=5
 
+# --- fault plans and degraded mode -----------------------------------------
+check_output "fault spec round-trips into the report" \
+  "rt:bitonic:8?fault=stall:0.1:20000" \
+  "$CLI" run "rt:bitonic:8?fault=stall:0.1:20000" threads=2 ops=200 seed=5
+check_output "fault run reports injected stalls" "faults" \
+  "$CLI" run "rt:bitonic:8?fault=stall:0.5:20000" threads=2 ops=200 seed=5
+check "mp fault plan with deaths runs" \
+  "$CLI" run "mp:bitonic:8?actors=2&fault=die:50,seed:3" threads=2 ops=200 seed=5
+check_output "deaths downgrade the guarantee" "counting-only" \
+  "$CLI" run "mp:bitonic:8?actors=2&fault=die:50,seed:3" threads=2 ops=200 seed=5
+check_rc "malformed fault plan exits 2" 2 "$CLI" run "rt:bitonic:8?fault=stall:2:100"
+check_rc "fault plan on psim exits 2" 2 "$CLI" run "psim:bitonic:8?fault=stall:0.1:100"
+check_rc "mp-only clause on rt exits 2" 2 "$CLI" run "rt:bitonic:8?fault=die:10"
+check_rc "degrade without metrics exits 2" 2 "$CLI" run "rt:bitonic:8?degrade=report"
+
+# --- SIGINT drains and exits 130 -------------------------------------------
+# A closed-loop run big enough to outlive the sleep; the handler must wind
+# the issuers down, drain, print the partial report, and exit 130.
+"$CLI" run "rt:bitonic:8" threads=2 ops=200000000 > /tmp/cnet_sigint_report.$$ 2>&1 &
+cli_pid=$!
+sleep 1
+kill -INT "$cli_pid"
+wait "$cli_pid"
+sigint_rc=$?
+if [ "$sigint_rc" -eq 130 ]; then
+  echo "ok: SIGINT run exits 130"
+else
+  echo "FAIL: SIGINT run — expected exit 130, got $sigint_rc" >&2
+  failures=$((failures + 1))
+fi
+if grep -q "INTERRUPTED" /tmp/cnet_sigint_report.$$; then
+  echo "ok: SIGINT run prints the partial report"
+else
+  echo "FAIL: SIGINT run — report lacks INTERRUPTED status" >&2
+  failures=$((failures + 1))
+fi
+rm -f /tmp/cnet_sigint_report.$$
+
 # --- count/verify accept both forms ----------------------------------------
 check "count, positional form" "$CLI" count bitonic 8 2 1000
 check "count, spec form" "$CLI" count "rt:bitonic:8?engine=walk" 2 1000

@@ -1,0 +1,24 @@
+#include "fault/injector.h"
+
+namespace cnet::fault {
+
+Injector::Injector(FaultPlan plan)
+    : plan_(plan),
+      stall_streams_(std::make_unique<Stream[]>(kStreams)),
+      pause_streams_(std::make_unique<Stream[]>(kStreams)),
+      delay_streams_(std::make_unique<Stream[]>(kStreams)) {
+  // Independent seed lineages per fault kind and per shard, so enabling one
+  // clause never perturbs another clause's decision sequence.
+  std::uint64_t state = plan_.seed ^ 0x5fa7f9u;
+  for (std::uint32_t i = 0; i < kStreams; ++i) {
+    stall_streams_[i].rng.reseed(splitmix64(state));
+  }
+  for (std::uint32_t i = 0; i < kStreams; ++i) {
+    pause_streams_[i].rng.reseed(splitmix64(state));
+  }
+  for (std::uint32_t i = 0; i < kStreams; ++i) {
+    delay_streams_[i].rng.reseed(splitmix64(state));
+  }
+}
+
+}  // namespace cnet::fault

@@ -1,0 +1,153 @@
+#include "fault/plan.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cnet::fault {
+namespace {
+
+bool fail(std::string* error, std::string_view text, const std::string& why) {
+  if (error != nullptr) *error = "fault plan '" + std::string(text) + "': " + why;
+  return false;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_prob(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string buf(text);  // strtod needs a terminator
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || !std::isfinite(value)) return false;
+  if (value < 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+/// Formats a probability compactly: "0.05", "1", "0.001".
+std::string fmt_prob(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", p);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultPlan::to_string() const {
+  std::string s;
+  const auto clause = [&s](const std::string& text) {
+    if (!s.empty()) s += ',';
+    s += text;
+  };
+  if (has_stalls()) {
+    std::string c = "stall:" + fmt_prob(stall_prob) + ':' + std::to_string(stall_ns);
+    if (stall_hop != kAnyHop) c += ':' + std::to_string(stall_hop);
+    clause(c);
+  }
+  if (has_pauses()) clause("pause:" + fmt_prob(pause_prob) + ':' + std::to_string(pause_ns));
+  if (has_deaths()) clause("die:" + std::to_string(die_every));
+  if (has_delays()) clause("delay:" + fmt_prob(delay_prob) + ':' + std::to_string(delay_ns));
+  if (seed != 0) clause("seed:" + std::to_string(seed));
+  return s;
+}
+
+bool parse_fault_plan(std::string_view text, FaultPlan* out, std::string* error) {
+  *out = FaultPlan{};
+  if (text.empty()) return fail(error, text, "empty plan (expected at least one clause)");
+
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (item.empty()) return fail(error, text, "empty clause (stray ',')");
+
+    std::vector<std::string_view> fields;
+    std::string_view f = item;
+    while (true) {
+      const std::size_t colon = f.find(':');
+      fields.push_back(f.substr(0, colon));
+      if (colon == std::string_view::npos) break;
+      f = f.substr(colon + 1);
+    }
+    const std::string_view name = fields[0];
+    const std::size_t args = fields.size() - 1;
+
+    if (name == "stall") {
+      if (args != 2 && args != 3) {
+        return fail(error, text, "clause 'stall' takes prob:ns[:hop] (got '" +
+                                     std::string(item) + "')");
+      }
+      if (!parse_prob(fields[1], &out->stall_prob)) {
+        return fail(error, text, "stall probability '" + std::string(fields[1]) +
+                                     "' is not in [0, 1]");
+      }
+      if (!parse_u64(fields[2], &out->stall_ns)) {
+        return fail(error, text, "stall duration '" + std::string(fields[2]) +
+                                     "' is not a number");
+      }
+      if (args == 3) {
+        std::uint64_t hop = 0;
+        if (!parse_u64(fields[3], &hop) || hop >= kAnyHop) {
+          return fail(error, text, "stall hop '" + std::string(fields[3]) +
+                                       "' is not a layer index");
+        }
+        out->stall_hop = static_cast<std::uint32_t>(hop);
+      }
+    } else if (name == "pause") {
+      if (args != 2) {
+        return fail(error, text, "clause 'pause' takes prob:ns (got '" + std::string(item) +
+                                     "')");
+      }
+      if (!parse_prob(fields[1], &out->pause_prob)) {
+        return fail(error, text, "pause probability '" + std::string(fields[1]) +
+                                     "' is not in [0, 1]");
+      }
+      if (!parse_u64(fields[2], &out->pause_ns)) {
+        return fail(error, text, "pause duration '" + std::string(fields[2]) +
+                                     "' is not a number");
+      }
+    } else if (name == "die") {
+      if (args != 1 || !parse_u64(fields[1], &out->die_every) || out->die_every == 0) {
+        return fail(error, text, "clause 'die' takes a period >= 1 (got '" +
+                                     std::string(item) + "')");
+      }
+    } else if (name == "delay") {
+      if (args != 2) {
+        return fail(error, text, "clause 'delay' takes prob:ns (got '" + std::string(item) +
+                                     "')");
+      }
+      if (!parse_prob(fields[1], &out->delay_prob)) {
+        return fail(error, text, "delay probability '" + std::string(fields[1]) +
+                                     "' is not in [0, 1]");
+      }
+      if (!parse_u64(fields[2], &out->delay_ns)) {
+        return fail(error, text, "delay duration '" + std::string(fields[2]) +
+                                     "' is not a number");
+      }
+    } else if (name == "seed") {
+      if (args != 1 || !parse_u64(fields[1], &out->seed)) {
+        return fail(error, text, "clause 'seed' takes a number (got '" + std::string(item) +
+                                     "')");
+      }
+    } else {
+      return fail(error, text, "unknown clause '" + std::string(name) +
+                                   "' (valid: stall, pause, die, delay, seed)");
+    }
+  }
+  if (!out->any()) {
+    return fail(error, text,
+                "plan injects nothing (every clause has probability 0, duration 0, or "
+                "period 0)");
+  }
+  return true;
+}
+
+}  // namespace cnet::fault

@@ -1,0 +1,91 @@
+// FaultPlan: a seeded, declarative description of the faults to inject into
+// one backend run — the configuration half of the fault subsystem (the
+// decision engine is fault::Injector, the per-backend realization lives in
+// each backend).
+//
+// The plan rides the spec grammar as one option value (`?fault=<plan>`), so
+// it has its own mini-grammar that avoids the spec's reserved characters
+// ('?', '&', '='): comma-separated clauses, colon-separated fields:
+//
+//   fault=stall:0.05:200000            stall 5% of hops for 200 us
+//   fault=stall:1:50000:2              stall every layer-2 hop for 50 us
+//   fault=pause:0.01:500000            1% of worker park points pause 500 us
+//   fault=die:100                      every 100th op, the client abandons
+//                                      its token mid-flight (deadline 0)
+//   fault=delay:0.1:20000              delay 10% of mp deliveries by 20 us
+//   fault=stall:0.05:200000,seed:7     clauses compose; seed picks the
+//                                      injector's deterministic streams
+//
+// Which clauses a backend family supports is validated at spec-parse time
+// (run/backend_spec.cpp): stalls exist everywhere a token traverses links
+// (rt, mp, sim); pauses, deaths, and delivery delays are mp-only — rt has
+// no workers to pause and its clients *are* the executors, so they cannot
+// abandon a token; psim fault plans are an open roadmap item
+// (docs/ROBUSTNESS.md documents the full matrix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cnet::fault {
+
+/// Sentinel for "every hop is eligible" in `stall_hop`.
+inline constexpr std::uint32_t kAnyHop = 0xffffffffu;
+
+struct FaultPlan {
+  /// Seed for the injector's per-thread decision streams; 0 (the default)
+  /// still yields deterministic streams, just the seed-0 ones.
+  std::uint64_t seed = 0;
+
+  // -- token stalls (rt, mp, sim) ---------------------------------------
+  /// Per-hop stall probability in [0, 1]; 0 disables stalls.
+  double stall_prob = 0.0;
+  /// Busy-wait length of one stall (ns on live backends, time units when
+  /// the sim family folds it into link delay).
+  std::uint64_t stall_ns = 0;
+  /// Restrict stalls to hops leaving nodes of this 1-based layer;
+  /// kAnyHop = every hop is eligible.
+  std::uint32_t stall_hop = kAnyHop;
+
+  // -- worker pauses (mp) -----------------------------------------------
+  /// Probability that a worker's cooperative park point actually pauses.
+  double pause_prob = 0.0;
+  /// Pause length in ns (the worker busy-waits — SIGSTOP-free).
+  std::uint64_t pause_ns = 0;
+
+  // -- client death (mp) -------------------------------------------------
+  /// Every `die_every`-th operation of an issuer is abandoned mid-flight
+  /// (count_until with a zero deadline); 0 disables.
+  std::uint64_t die_every = 0;
+
+  // -- message-delivery delay (mp) ---------------------------------------
+  /// Probability a delivery is delayed before the forward; reordering stays
+  /// within mailbox-FIFO limits (per-producer order is never broken, only
+  /// cross-producer interleaving shifts).
+  double delay_prob = 0.0;
+  std::uint64_t delay_ns = 0;
+
+  /// True when any clause is active (the backends skip all fault plumbing
+  /// for an empty plan).
+  bool any() const {
+    return (stall_prob > 0.0 && stall_ns != 0) || (pause_prob > 0.0 && pause_ns != 0) ||
+           die_every != 0 || (delay_prob > 0.0 && delay_ns != 0);
+  }
+
+  bool has_stalls() const { return stall_prob > 0.0 && stall_ns != 0; }
+  bool has_pauses() const { return pause_prob > 0.0 && pause_ns != 0; }
+  bool has_deaths() const { return die_every != 0; }
+  bool has_delays() const { return delay_prob > 0.0 && delay_ns != 0; }
+
+  /// Canonical plan string: parse_fault_plan(to_string()) reproduces this
+  /// plan exactly (clauses in fixed order, inactive clauses omitted).
+  std::string to_string() const;
+};
+
+/// Parses the mini-grammar above into `*out`. On failure returns false and,
+/// when `error` is non-null, stores a one-line diagnostic that echoes the
+/// offending plan text (the spec parser prefixes the full spec).
+bool parse_fault_plan(std::string_view text, FaultPlan* out, std::string* error);
+
+}  // namespace cnet::fault

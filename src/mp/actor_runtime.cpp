@@ -1,6 +1,7 @@
 #include "mp/actor_runtime.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "util/assert.h"
 #include "util/spin.h"
@@ -33,6 +34,24 @@ thread_local const std::uint32_t tls_client_token =
 /// Small on purpose: burning a quantum spinning starves the very producer
 /// we are waiting for when threads outnumber cores.
 constexpr int kIdleSweeps = 32;
+
+/// Bounded exponential backoff between failed sweeps, in cpu_relax units.
+/// A sweep is one CAS-contended pop attempt per shard, so idle workers
+/// re-sweeping back-to-back form a steal storm that saturates the shard
+/// cache lines and slows the very producers they are waiting on. Doubling
+/// the pause after each dry sweep (yielding once saturated) bounds the
+/// storm's memory traffic while the first successful pop resets to
+/// full responsiveness.
+constexpr std::uint32_t kBackoffMin = 4;
+constexpr std::uint32_t kBackoffMax = 1024;
+
+/// Cooperative worker pause (fault-injection park points): burn wall time
+/// holding nothing. Busy-waiting rather than sleeping keeps sub-slice
+/// pauses accurate and mimics a preempted worker still occupying its core.
+void busy_pause(std::uint64_t ns) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) cpu_relax();
+}
 
 }  // namespace
 
@@ -71,7 +90,7 @@ void ActorRuntime::start() {
   workers_.reserve(options_.workers);
   if (options_.engine == Engine::kLocked) {
     for (std::uint32_t i = 0; i < options_.workers; ++i) {
-      workers_.emplace_back([this] { locked_worker_loop(); });
+      workers_.emplace_back([this, i] { locked_worker_loop(i); });
     }
     return;
   }
@@ -93,7 +112,16 @@ void ActorRuntime::send(ActorId to, const Message& message) {
   if (options_.engine == Engine::kLocked) {
     locked_send(to, message);
   } else {
-    lf_send(to, message);
+    lf_send(to, message, /*allow_inline=*/true);
+  }
+}
+
+void ActorRuntime::send_queued(ActorId to, const Message& message) {
+  CNET_CHECK(to < handlers_.size());
+  if (options_.engine == Engine::kLocked) {
+    locked_send(to, message);  // the locked engine never donates anyway
+  } else {
+    lf_send(to, message, /*allow_inline=*/false);
   }
 }
 
@@ -160,9 +188,13 @@ bool ActorRuntime::locked_dequeue(ActorId& id) {
   return true;
 }
 
-void ActorRuntime::locked_worker_loop() {
+void ActorRuntime::locked_worker_loop(std::uint32_t wid) {
   ActorId id = 0;
   while (locked_dequeue(id)) {
+    if (options_.park_point) {
+      const std::uint64_t ns = options_.park_point(wid);
+      if (ns != 0) busy_pause(ns);
+    }
     LockedActor& actor = *locked_actors_[id];
     for (int processed = 0; processed < kBatch; ++processed) {
       Message message;
@@ -196,7 +228,7 @@ void ActorRuntime::locked_worker_loop() {
 
 // --- lock-free engine -------------------------------------------------------
 
-void ActorRuntime::lf_send(ActorId to, const Message& message) {
+void ActorRuntime::lf_send(ActorId to, const Message& message, bool allow_inline) {
   LfActor& actor = *lf_actors_[to];
   MpscNode* node = pool_.acquire();
   node->msg = message;
@@ -223,7 +255,10 @@ void ActorRuntime::lf_send(ActorId to, const Message& message) {
       // trips and zero context switches. Workers keep enqueueing (their
       // drain loop picks the actor from their own shard next anyway), and
       // past the nesting budget the send falls back to the run queues.
-      if (tls_shard_hint.runtime != this && tls_inline_depth < kInlineDepthMax) {
+      // send_queued disables the donation: a deadline-bounded caller cannot
+      // time out work running on its own stack.
+      if (allow_inline && tls_shard_hint.runtime != this &&
+          tls_inline_depth < kInlineDepthMax) {
         ++tls_inline_depth;
         lf_run_actor(lf_client_stat_slot(), to);
         --tls_inline_depth;
@@ -282,8 +317,8 @@ bool ActorRuntime::lf_try_all_shards(std::uint32_t wid, ActorId* out) {
 }
 
 bool ActorRuntime::lf_next_runnable(std::uint32_t wid, ActorId* out) {
-  SpinWaiter spin;
   int idle_sweeps = 0;
+  std::uint32_t backoff = kBackoffMin;  // see kBackoffMin: steal-storm damping
   for (;;) {
     if (lf_try_all_shards(wid, out)) return true;
     if (lf_stopping_.load(std::memory_order_acquire)) {
@@ -294,7 +329,12 @@ bool ActorRuntime::lf_next_runnable(std::uint32_t wid, ActorId* out) {
       return lf_try_all_shards(wid, out);
     }
     if (++idle_sweeps < kIdleSweeps) {
-      spin.wait();
+      for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
+      if (backoff < kBackoffMax) {
+        backoff <<= 1;
+      } else {
+        std::this_thread::yield();
+      }
       continue;
     }
     // Park. Register as a sleeper first, then re-sweep: a producer that
@@ -317,7 +357,7 @@ bool ActorRuntime::lf_next_runnable(std::uint32_t wid, ActorId* out) {
     }
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     idle_sweeps = 0;
-    spin.reset();
+    backoff = kBackoffMin;
   }
 }
 
@@ -375,6 +415,13 @@ void ActorRuntime::lf_worker_loop(std::uint32_t wid) {
   tls_shard_hint = ShardHint{this, wid};
   ActorId id = 0;
   while (lf_next_runnable(wid, &id)) {
+    // Park point between claiming the actor and running it: the pause
+    // delays this actor's turn (and whatever steals would have found us)
+    // exactly like a preemption landing after the dequeue.
+    if (options_.park_point) [[unlikely]] {
+      const std::uint64_t ns = options_.park_point(wid);
+      if (ns != 0) busy_pause(ns);
+    }
     lf_run_actor(wid, id);
   }
   tls_shard_hint = ShardHint{};

@@ -64,6 +64,16 @@ class ActorRuntime {
   struct Options {
     std::uint32_t workers = 2;          ///< threads draining the run queues
     Engine engine = Engine::kLockFree;  ///< hot-path implementation
+
+    /// Cooperative park point, polled by each worker after it dequeues an
+    /// actor and before it runs the turn (both engines). Returning non-zero
+    /// makes the worker busy-pause that many nanoseconds — the fault
+    /// layer's SIGSTOP-free stand-in for a worker preempted right after
+    /// winning an actor: the SCHEDULED claim is held across the pause
+    /// (legal — the flag means "owned", senders keep enqueueing) but no
+    /// lock is, so the pause delays that actor's turn without blocking
+    /// anything else. Null (the default) costs a bool test per turn.
+    std::function<std::uint64_t(std::uint32_t worker)> park_point{};
   };
 
   /// Spawns nothing yet; workers start in start(). Actors must all be added
@@ -71,7 +81,7 @@ class ActorRuntime {
   explicit ActorRuntime(Options options);
 
   /// Convenience: `workers` threads on the default engine.
-  explicit ActorRuntime(std::uint32_t workers) : ActorRuntime(Options{workers, {}}) {}
+  explicit ActorRuntime(std::uint32_t workers) : ActorRuntime(Options{workers, {}, {}}) {}
 
   /// Drains and joins. All expected replies must have been received by the
   /// caller before destruction (no new sends may race the shutdown).
@@ -89,6 +99,15 @@ class ActorRuntime {
 
   /// Delivers a message; callable from any thread and from handlers.
   void send(ActorId to, const Message& message);
+
+  /// send() without the thread-donation fast path: under the lock-free
+  /// engine the claimed actor always goes through the run queues, even from
+  /// a client thread. Deadline-bounded operations need this for their
+  /// initial hop — an inline send would run the token's whole walk on the
+  /// waiting thread's own stack, making the deadline unenforceable (a
+  /// thread cannot time out work it is itself executing). Identical to
+  /// send() on the locked engine, which never donates.
+  void send_queued(ActorId to, const Message& message);
 
   /// Optional mailbox-depth probe (borrowed; may be null). When set before
   /// start() and the library is built with CNET_OBS=1, every send() records
@@ -118,7 +137,7 @@ class ActorRuntime {
   };
 
   void locked_send(ActorId to, const Message& message);
-  void locked_worker_loop();
+  void locked_worker_loop(std::uint32_t wid);
   void locked_enqueue(ActorId id);
   bool locked_dequeue(ActorId& id);
 
@@ -144,7 +163,7 @@ class ActorRuntime {
     std::atomic<std::uint64_t> processed{0};
   };
 
-  void lf_send(ActorId to, const Message& message);
+  void lf_send(ActorId to, const Message& message, bool allow_inline);
   void lf_worker_loop(std::uint32_t wid);
   void lf_enqueue(ActorId id);
   bool lf_try_all_shards(std::uint32_t wid, ActorId* out);

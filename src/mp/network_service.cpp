@@ -1,7 +1,9 @@
 #include "mp/network_service.h"
 
 #include <chrono>
+#include <thread>
 
+#include "fault/injector.h"
 #include "mp/response_cell.h"
 #include "obs/backend_metrics.h"
 #include "util/assert.h"
@@ -19,11 +21,30 @@ void busy_wait_ns(std::uint64_t ns) {
   }
 }
 
+/// The destructor's drain budget. Tokens cannot be lost (mailboxes are
+/// reliable, handlers always forward or complete), so quiescence is reached
+/// as soon as the workers catch up; the bound exists to turn a hypothetical
+/// lost token into a loud assertion instead of an unbounded hang — or,
+/// worse, a use-after-free inside a worker once teardown proceeds.
+constexpr std::uint64_t kDtorDrainNs = 30'000'000'000ull;
+
 }  // namespace
+
+ActorRuntime::Options NetworkService::runtime_options(const Options& options) {
+  ActorRuntime::Options rt;
+  rt.workers = options.workers;
+  rt.engine = options.engine;
+  if (options.fault != nullptr && options.fault->plan().has_pauses()) {
+    fault::Injector* inj = options.fault;
+    rt.park_point = [inj](std::uint32_t wid) { return inj->pause_ns(wid); };
+  }
+  return rt;
+}
 
 NetworkService::NetworkService(topo::Network net, Options options)
     : net_(std::move(net)),
-      runtime_(ActorRuntime::Options{options.workers, options.engine}),
+      fault_(options.fault),
+      runtime_(runtime_options(options)),
       node_counts_(net_.node_count(), 0),
       output_counts_(net_.output_width(), 0) {
 #if CNET_OBS
@@ -52,6 +73,19 @@ NetworkService::NetworkService(topo::Network net, Options options)
       const std::uint64_t t = node_counts_[id]++;
       const topo::OutLink next = node.out[t % node.fan_out];
       if (message.payload != 0) busy_wait_ns(message.payload);
+      if (fault_ != nullptr) [[unlikely]] {
+        // Stall: the token lingers on this hop (keyed by the node's layer so
+        // stall:p:ns:hop plans can target one stage of the network). Delay:
+        // the forward itself is late. Both are busy time on the hosting
+        // worker — exactly a slow link in the asynchronous model.
+        const std::uint64_t stall = fault_->stall_ns(id, node.layer);
+        if (stall != 0) busy_wait_ns(stall);
+        const std::uint32_t to = next.node == topo::kNoNode
+                                     ? static_cast<std::uint32_t>(net_.node_count()) + next.port
+                                     : next.node;
+        const std::uint64_t delay = fault_->delivery_delay_ns(to);
+        if (delay != 0) busy_wait_ns(delay);
+      }
       if (next.node == topo::kNoNode) {
         runtime_.send(counter_actors_[next.port], message);
       } else {
@@ -60,7 +94,9 @@ NetworkService::NetworkService(topo::Network net, Options options)
     }));
   }
   // Counter actors: assign the value and wake the client through the
-  // engine's completion protocol.
+  // engine's completion protocol. A completion that loses to a timed-out
+  // waiter parks the value and donates the abandoned cell back to the
+  // arena (see mp/response_cell.h for the ownership handoff).
   const bool futex_cells = options.engine == Engine::kLockFree;
   counter_actors_.reserve(net_.output_width());
   for (std::uint32_t port = 0; port < net_.output_width(); ++port) {
@@ -76,22 +112,39 @@ NetworkService::NetworkService(topo::Network net, Options options)
           const std::uint64_t a = output_counts_[port]++;
           const std::uint64_t value = port + a * net_.output_width();
           auto* cell = static_cast<ResponseCell*>(message.context);
-          if (futex_cells) {
-            cell->complete_futex(value);
-          } else {
-            cell->complete_locked(value);
+          const bool delivered =
+              futex_cells ? cell->complete_futex(value) : cell->complete_locked(value);
+          if (!delivered) {
+            park_value(value);
+            ResponseCellCache::donate_abandoned(cell);
           }
+          // Last: a drain that observes zero must observe this token's
+          // delivery (or parking) too.
+          in_flight_.fetch_sub(1, std::memory_order_release);
         }));
   }
   runtime_.start();
 }
 
+NetworkService::~NetworkService() {
+  // The actor-id tables and actor-local count vectors are declared after
+  // runtime_, so they are destroyed before the workers join; any token
+  // still hopping at that point — possible exactly when a deadline
+  // abandoned it — would be a use-after-free inside a handler. Establish
+  // quiescence first.
+  const DrainReport report = drain(kDtorDrainNs);
+  CNET_CHECK_MSG(report.quiescent, "NetworkService destroyed with tokens still in flight");
+}
+
 std::uint64_t NetworkService::count_delayed(std::uint32_t input, std::uint64_t wait_ns) {
   CNET_CHECK(input < net_.input_width());
+  std::uint64_t parked = 0;
+  if (try_pop_parked(&parked)) return parked;
 #if CNET_OBS
   const std::uint64_t t_start = metrics_ != nullptr ? obs::now_ns() : 0;
 #endif
   ResponseCell* cell = ResponseCellCache::acquire();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   runtime_.send(node_actors_[net_.inputs()[input].node], Message{wait_ns, cell});
   const std::uint64_t value = runtime_.engine() == Engine::kLockFree ? cell->await_futex()
                                                                      : cell->await_locked();
@@ -103,6 +156,106 @@ std::uint64_t NetworkService::count_delayed(std::uint32_t input, std::uint64_t w
   }
 #endif
   return value;
+}
+
+NetworkService::TimedCount NetworkService::count_until(std::uint32_t input,
+                                                       std::uint64_t wait_ns,
+                                                       std::uint64_t timeout_ns) {
+  CNET_CHECK(input < net_.input_width());
+  std::uint64_t parked = 0;
+  if (try_pop_parked(&parked)) return {true, parked};
+#if CNET_OBS
+  const std::uint64_t t_start = metrics_ != nullptr ? obs::now_ns() : 0;
+#endif
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout_ns);
+  ResponseCell* cell = ResponseCellCache::acquire();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  // send_queued, not send: the lock-free engine's inline fast path would
+  // donate THIS thread to run the token's entire walk (stalls included)
+  // before the wait below ever starts, so the deadline could never fire.
+  // A deadline-bounded token is hosted by the workers from hop one.
+  runtime_.send_queued(node_actors_[net_.inputs()[input].node], Message{wait_ns, cell});
+  const ResponseCell::TimedWait wait = runtime_.engine() == Engine::kLockFree
+                                           ? cell->await_futex_until(deadline)
+                                           : cell->await_locked_until(deadline);
+  if (!wait.ok) {
+    // Abandoned: the cell now belongs to the late completer (it parks the
+    // value and donates the cell to the arena) — no release here.
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  ResponseCellCache::release(cell);
+#if CNET_OBS
+  if (metrics_ != nullptr) {
+    metrics_->tokens.add(input);
+    metrics_->count_latency_ns.record(input, obs::now_ns() - t_start);
+  }
+#endif
+  return {true, wait.value};
+}
+
+NetworkService::DrainReport NetworkService::drain(std::uint64_t deadline_ns) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::nanoseconds(deadline_ns);
+  std::chrono::microseconds nap{1};
+  DrainReport report;
+  for (;;) {
+    // Acquire pairs with the counter actors' release decrement: zero here
+    // means every issued token's delivery (or parking) is visible.
+    const std::uint64_t live = in_flight_.load(std::memory_order_acquire);
+    if (live == 0) {
+      report.quiescent = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      report.strays = live;
+      break;
+    }
+    std::this_thread::sleep_for(nap);
+    if (nap < std::chrono::microseconds{256}) nap *= 2;
+  }
+  report.waited_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+  return report;
+}
+
+std::vector<std::uint64_t> NetworkService::take_parked() {
+  const std::scoped_lock lock(parked_mutex_);
+  parked_size_.store(0, std::memory_order_release);
+  return std::exchange(parked_, {});
+}
+
+NetworkService::RobustnessStats NetworkService::robustness_stats() const {
+  RobustnessStats s;
+  s.in_flight = in_flight_.load(std::memory_order_acquire);
+  s.deadline_timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.values_parked = parked_total_.load(std::memory_order_relaxed);
+  s.values_reclaimed = reclaimed_total_.load(std::memory_order_relaxed);
+  s.parked_now = parked_size_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool NetworkService::try_pop_parked(std::uint64_t* value) {
+  // Cheap probe first: with no faults the buffer is forever empty and the
+  // hot path never touches the mutex.
+  if (parked_size_.load(std::memory_order_acquire) == 0) return false;
+  const std::scoped_lock lock(parked_mutex_);
+  if (parked_.empty()) return false;
+  *value = parked_.back();
+  parked_.pop_back();
+  parked_size_.store(parked_.size(), std::memory_order_release);
+  reclaimed_total_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void NetworkService::park_value(std::uint64_t value) {
+  const std::scoped_lock lock(parked_mutex_);
+  parked_.push_back(value);
+  parked_size_.store(parked_.size(), std::memory_order_release);
+  parked_total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace cnet::mp

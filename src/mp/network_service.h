@@ -11,6 +11,31 @@
 // the hosting worker busy-waits W ns after each balancer transition before
 // forwarding, the message-passing analogue of rt's next_hooked() hook.
 //
+// Fault injection (Options::fault, see fault/injector.h): token stalls are
+// extra busy time after a balancer transition, delivery delays are extra
+// busy time before the forward — per-sender FIFO is a mailbox invariant, so
+// a delay reorders a message only against *other* senders' traffic, which
+// is the reordering the asynchronous model permits — and worker pauses ride
+// the ActorRuntime park points. All of it widens the c1/c2 spread the paper
+// studies without breaking any scheduling invariant.
+//
+// Deadlines: count_until() bounds the client's wait. On timeout the client
+// abandons its ResponseCell (the cancel CAS in mp/response_cell.h decides
+// value-vs-cancel races); the token, however, is already in the network and
+// WILL increment an output counter — dropping its value would leave a hole
+// in the counted range. The late completer therefore parks the orphaned
+// value in the service's ticket buffer, and later operations recycle parked
+// values before issuing new tokens. Recycling preserves the counting
+// property (every value 0..n-1 handed out exactly once); a recycled value
+// may be arbitrarily stale, so operations that return one carry no
+// linearizability claim — the run harness measures exactly that.
+//
+// Quiescence: drain() waits (bounded) for in-flight tokens to reach their
+// counter; the destructor drains unconditionally because actor-local state
+// and the actor-id tables are destroyed before the runtime joins its
+// workers, so a straggler token surviving into teardown would be a
+// use-after-free, not a leak.
+//
 // The hot path rides the ActorRuntime engine the options select: the
 // lock-free default (pooled MPSC mailboxes, sharded run queues, futex
 // response cells) or the locked oracle (mutex+condvar throughout). Both
@@ -21,7 +46,9 @@
 // count() latency (docs/OBSERVABILITY.md documents every metric).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -31,6 +58,9 @@
 
 namespace cnet::obs {
 struct MpMetrics;  // obs/backend_metrics.h
+}
+namespace cnet::fault {
+class Injector;  // fault/injector.h
 }
 
 namespace cnet::mp {
@@ -51,11 +81,42 @@ class NetworkService {
     /// Observability sink (borrowed; may be null — the default — for zero
     /// instrumentation cost; ignored in CNET_OBS=0 builds).
     obs::MpMetrics* metrics = nullptr;
+
+    /// Fault injector (borrowed; must outlive the service; may be null).
+    /// Realizes the plan's stalls, delivery delays, and worker pauses —
+    /// see the file comment. Client deaths are an issuer-side decision and
+    /// live in the run harness.
+    fault::Injector* fault = nullptr;
+  };
+
+  /// Outcome of a deadline-bounded counting operation.
+  struct TimedCount {
+    bool ok = false;          ///< value obtained before the deadline
+    std::uint64_t value = 0;  ///< valid iff ok
+  };
+
+  /// Outcome of a quiescence drain.
+  struct DrainReport {
+    bool quiescent = false;        ///< in-flight tokens reached zero in time
+    std::uint64_t strays = 0;      ///< tokens still in flight at the deadline
+    std::uint64_t waited_ns = 0;   ///< wall time spent draining
+  };
+
+  /// Robustness counters (relaxed; exact in quiescence).
+  struct RobustnessStats {
+    std::uint64_t in_flight = 0;          ///< tokens currently in the network
+    std::uint64_t deadline_timeouts = 0;  ///< count_until calls that gave up
+    std::uint64_t values_parked = 0;      ///< orphaned values ever parked
+    std::uint64_t values_reclaimed = 0;   ///< parked values recycled to clients
+    std::uint64_t parked_now = 0;         ///< tickets currently in the buffer
   };
 
   /// Takes a copy of the topology and starts the workers.
   explicit NetworkService(topo::Network net) : NetworkService(std::move(net), Options()) {}
   NetworkService(topo::Network net, Options options);
+
+  /// Drains in-flight tokens (see the file comment), then joins the workers.
+  ~NetworkService();
 
   /// Performs one counting operation through network input `input`;
   /// blocks until the token's value message arrives. Thread-safe.
@@ -65,6 +126,24 @@ class NetworkService {
   /// `wait_ns` after every balancer transition before forwarding. 0 is the
   /// plain fast path.
   std::uint64_t count_delayed(std::uint32_t input, std::uint64_t wait_ns);
+
+  /// Deadline-bounded count_delayed: gives up after `timeout_ns` (measured
+  /// from the call). On timeout the operation returns {ok = false} and its
+  /// token's eventual value is parked for recycling — see the file comment
+  /// for the exact cancellation/recycling semantics.
+  TimedCount count_until(std::uint32_t input, std::uint64_t wait_ns, std::uint64_t timeout_ns);
+
+  /// Waits (up to `deadline_ns`) for every in-flight token to reach its
+  /// output counter. Quiescent means every issued value has been delivered
+  /// or parked; parked tickets are NOT consumed (take_parked does that).
+  DrainReport drain(std::uint64_t deadline_ns);
+
+  /// Removes and returns every parked (orphaned) value. The run harness
+  /// calls this after drain so abandoned operations' values can be
+  /// accounted in the counting check instead of reading as holes.
+  std::vector<std::uint64_t> take_parked();
+
+  RobustnessStats robustness_stats() const;
 
   /// The topology this service executes (the construction-time copy).
   const topo::Network& network() const { return net_; }
@@ -80,8 +159,25 @@ class NetworkService {
   MessagePool::Stats pool_stats() const { return runtime_.pool_stats(); }
 
  private:
+  static ActorRuntime::Options runtime_options(const Options& options);
+
+  bool try_pop_parked(std::uint64_t* value);
+  void park_value(std::uint64_t value);
+
   topo::Network net_;
   obs::MpMetrics* metrics_ = nullptr;  ///< null unless CNET_OBS wiring is live
+  fault::Injector* fault_ = nullptr;
+
+  // Declared before runtime_ so they outlive the workers; the counter-actor
+  // handlers touch them on the abandonment path.
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> parked_total_{0};
+  std::atomic<std::uint64_t> reclaimed_total_{0};
+  std::atomic<std::uint64_t> parked_size_{0};  ///< lock-free "any tickets?" probe
+  std::mutex parked_mutex_;
+  std::vector<std::uint64_t> parked_;  ///< orphaned values awaiting recycling
+
   ActorRuntime runtime_;
   std::vector<ActorId> node_actors_;     ///< per balancer node
   std::vector<ActorId> counter_actors_;  ///< per network output

@@ -13,6 +13,23 @@
 //     return (and recycle the cell) until the completer has released the
 //     mutex, which closes the seed's notify-after-unlock lifetime race.
 //
+// Deadlines and cancellation: count_until() adds a third party to the
+// rendezvous — a waiter that gives up. Ownership of the value is decided by
+// a single CAS on the slot: the timed-out waiter CASes kPending ->
+// kCancelled; the completer CASes kPending -> value. Exactly one wins.
+//   * waiter wins:  the waiter walks away WITHOUT releasing the cell to its
+//     cache (the completer may still touch it). When the late completer
+//     loses its CAS it owns the orphaned value (the service parks it so the
+//     counting property survives) and it — the last party referencing the
+//     cell — donates the cell's use right to the arena, where any thread
+//     can re-adopt it. An abandoned cell is therefore never freed, never
+//     double-listed, and never written after donation.
+//   * completer wins: the (possibly late) waiter reads the value through
+//     its failed cancel CAS and completes normally.
+// The locked engine runs the same ownership race under the cell mutex
+// (`cancelled_` flag instead of a sentinel), so both engines share the
+// abandon-to-arena lifecycle.
+//
 // Cell lifetime is the linchpin of the futex path: the waiter may observe
 // the value through await_futex's spin loop and return *before* the
 // completer reaches its notify_one, so the notify can land on a cell whose
@@ -28,10 +45,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/spin.h"
@@ -40,21 +59,39 @@ namespace cnet::mp {
 
 class ResponseCell {
  public:
-  /// Counter values are token ranks (port + a * width); all-ones cannot
-  /// occur for any realizable history, so it marks "no value yet".
+  /// Counter values are token ranks (port + a * width); the top two values
+  /// of the 64-bit space cannot occur for any realizable history, so they
+  /// mark "no value yet" and "waiter gave up".
   static constexpr std::uint64_t kPending = ~std::uint64_t{0};
+  static constexpr std::uint64_t kCancelled = ~std::uint64_t{0} - 1;
+
+  /// Outcome of a deadline-bounded wait.
+  struct TimedWait {
+    bool ok = false;            ///< value arrived (possibly racing the deadline)
+    std::uint64_t value = 0;    ///< valid iff ok
+  };
 
   /// Re-arm a recycled cell. Call before handing it to a token.
   void reset() {
     slot_.store(kPending, std::memory_order_relaxed);
     done_ = false;
+    cancelled_ = false;
   }
 
   // --- futex protocol (lock-free engine) --------------------------------
 
-  void complete_futex(std::uint64_t value) {
-    slot_.store(value, std::memory_order_release);
+  /// Delivers `value`. Returns false when the waiter already cancelled: the
+  /// caller then owns the value (park it) and the cell (donate it to the
+  /// arena via ResponseCellCache::donate_abandoned — and must not touch the
+  /// cell afterwards).
+  bool complete_futex(std::uint64_t value) {
+    std::uint64_t expected = kPending;
+    if (!slot_.compare_exchange_strong(expected, value, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return false;  // expected == kCancelled: the waiter walked away
+    }
     slot_.notify_one();
+    return true;
   }
 
   std::uint64_t await_futex() {
@@ -70,13 +107,48 @@ class ResponseCell {
     return value;
   }
 
+  /// Deadline-bounded await_futex. On timeout attempts the cancel CAS; a
+  /// failed cancel means the value arrived concurrently and is returned as
+  /// a normal completion. After a successful cancel the caller must abandon
+  /// the cell (no release).
+  ///
+  /// std::atomic::wait has no timed form, so past the spin window this
+  /// polls with a short exponential sleep — fine for a rare-path deadline
+  /// wait (the common case completes inside the spin window).
+  TimedWait await_futex_until(std::chrono::steady_clock::time_point deadline) {
+    std::uint64_t value = slot_.load(std::memory_order_acquire);
+    for (int i = 0; value == kPending && i < 64; ++i) {
+      cpu_relax();
+      value = slot_.load(std::memory_order_acquire);
+    }
+    std::chrono::microseconds nap{1};
+    while (value == kPending) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::uint64_t expected = kPending;
+        if (slot_.compare_exchange_strong(expected, kCancelled, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          return {};  // cancelled: the completer owns value and cell now
+        }
+        return {true, expected};  // lost the race to the value — take it
+      }
+      std::this_thread::sleep_for(nap);
+      if (nap < std::chrono::microseconds{128}) nap *= 2;
+      value = slot_.load(std::memory_order_acquire);
+    }
+    return {true, value};
+  }
+
   // --- condvar protocol (locked engine) ---------------------------------
 
-  void complete_locked(std::uint64_t value) {
+  /// Locked-engine twin of complete_futex: false when the waiter already
+  /// timed out (same park-and-donate contract for the caller).
+  bool complete_locked(std::uint64_t value) {
     const std::scoped_lock lock(mutex_);
+    if (cancelled_) return false;
     value_ = value;
     done_ = true;
     cv_.notify_one();  // under the lock: see the header
+    return true;
   }
 
   std::uint64_t await_locked() {
@@ -85,12 +157,24 @@ class ResponseCell {
     return value_;
   }
 
+  /// Deadline-bounded await_locked; the mutex serializes the ownership race
+  /// the futex path decides by CAS.
+  TimedWait await_locked_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    if (cv_.wait_until(lock, deadline, [this] { return done_; })) {
+      return {true, value_};
+    }
+    cancelled_ = true;  // completer will park the value and donate the cell
+    return {};
+  }
+
  private:
   std::atomic<std::uint64_t> slot_{kPending};
 
   std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
+  bool cancelled_ = false;  // guarded by mutex_ (locked protocol only)
   std::uint64_t value_ = 0;
 };
 
@@ -112,6 +196,12 @@ struct ResponseCellArena {
   std::vector<std::unique_ptr<ResponseCell>> owned;
   std::vector<ResponseCell*> free_cells;
 
+  // Lifecycle counters (under mutex for writes; read via snapshot()).
+  std::uint64_t thread_donations = 0;  ///< cells donated by exiting threads
+  std::uint64_t adoptions = 0;         ///< cells re-adopted by new threads
+  std::uint64_t orphan_donations = 0;  ///< abandoned (timed-out) cells donated
+                                       ///< by their late completer
+
   static ResponseCellArena& instance() {
     static auto* arena = new ResponseCellArena();
     return *arena;
@@ -122,7 +212,8 @@ struct ResponseCellArena {
 /// Thread-local cell cache over the process-lifetime arena. A cell is owned
 /// by exactly one in-flight operation of the acquiring thread, so the fast
 /// path needs no synchronization; the arena mutex is taken only to adopt a
-/// cell on a cache miss and to donate the cache back at thread exit.
+/// cell on a cache miss, to donate the cache back at thread exit, and to
+/// donate an abandoned cell after its waiter timed out.
 class ResponseCellCache {
  public:
   static ResponseCell* acquire() {
@@ -140,10 +231,45 @@ class ResponseCellCache {
 
   static void release(ResponseCell* cell) { tls_instance().free_cells.push_back(cell); }
 
+  /// Hands an abandoned (cancelled) cell's use right to the arena. Called
+  /// by the late completer — the last party referencing the cell — so the
+  /// cell re-enters circulation instead of leaking from every free list.
+  /// Ownership (the unique_ptr) is wherever it always was: the acquiring
+  /// thread's cache, or already the arena if that thread exited.
+  static void donate_abandoned(ResponseCell* cell) {
+    auto& arena = detail::ResponseCellArena::instance();
+    const std::scoped_lock lock(arena.mutex);
+    arena.free_cells.push_back(cell);
+    ++arena.orphan_donations;
+  }
+
   /// Total cells constructed process-wide (monotone; for tests). Arena
   /// adoption recycles, so this pins across thread churn too.
   static std::uint64_t cells_created() {
     return detail::g_response_cells_created.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time arena occupancy and lifecycle counters, for the obs
+  /// surface (mp.cells.* gauges) and the churn/abandonment tests. Process-
+  /// wide: every service shares one arena.
+  struct ArenaStats {
+    std::uint64_t owned = 0;             ///< cells whose unique_ptr lives in the arena
+    std::uint64_t free_cells = 0;        ///< use rights currently parked in the arena
+    std::uint64_t thread_donations = 0;
+    std::uint64_t adoptions = 0;
+    std::uint64_t orphan_donations = 0;
+  };
+
+  static ArenaStats arena_stats() {
+    auto& arena = detail::ResponseCellArena::instance();
+    const std::scoped_lock lock(arena.mutex);
+    ArenaStats s;
+    s.owned = arena.owned.size();
+    s.free_cells = arena.free_cells.size();
+    s.thread_donations = arena.thread_donations;
+    s.adoptions = arena.adoptions;
+    s.orphan_donations = arena.orphan_donations;
+    return s;
   }
 
  private:
@@ -151,15 +277,18 @@ class ResponseCellCache {
     std::vector<std::unique_ptr<ResponseCell>> owned;
     std::vector<ResponseCell*> free_cells;
 
-    /// Thread exit: every cell this thread ever acquired has been released
-    /// (acquire/release bracket each operation on the same thread), so the
-    /// whole cache is free — donate ownership and free pointers to the
-    /// arena instead of destroying anything.
+    /// Thread exit: every cell this thread acquired and did not abandon has
+    /// been released (acquire/release bracket each completed operation on
+    /// the same thread), so the whole free list is donatable; abandoned
+    /// cells' use rights come back through donate_abandoned instead.
+    /// Ownership of every cell this thread constructed moves to the arena
+    /// so nothing is destroyed while a completer could still touch it.
     ~Tls() {
       auto& arena = detail::ResponseCellArena::instance();
       const std::scoped_lock lock(arena.mutex);
       for (auto& cell : owned) arena.owned.push_back(std::move(cell));
       arena.free_cells.insert(arena.free_cells.end(), free_cells.begin(), free_cells.end());
+      arena.thread_donations += free_cells.size();
     }
   };
 
@@ -171,6 +300,7 @@ class ResponseCellCache {
     // only the use right moves into the cache.
     tls.free_cells.push_back(arena.free_cells.back());
     arena.free_cells.pop_back();
+    ++arena.adoptions;
     return true;
   }
 

@@ -1,5 +1,6 @@
 #include "rt/network_counter.h"
 
+#include <chrono>
 #include <thread>
 
 #include "obs/backend_metrics.h"
@@ -27,6 +28,13 @@ struct NetworkCounter::NodeState {
 
 NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
     : net_(std::move(net)), options_(options) {
+#if CNET_OBS
+  // The guard watches the obs hop-latency estimator, so it only exists when
+  // there is a sink to watch (and never in a CNET_OBS=0 build).
+  if (options_.degrade.policy != DegradePolicy::kOff && options_.metrics != nullptr) {
+    guard_ = std::make_unique<DegradeGuard>(options_.degrade, options_.metrics, net_.depth());
+  }
+#endif
   if (options_.engine == ExecutionEngine::kCompiledPlan) {
     plan_ = std::make_unique<RoutingPlan>(net_, options_);
     return;
@@ -65,10 +73,21 @@ NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
 
 NetworkCounter::~NetworkCounter() = default;
 
+void NetworkCounter::guard_entry() {
+  guard_->on_token();
+  const std::uint64_t pad = guard_->pad_ns();
+  if (pad == 0) return;
+  // Cor 3.12's pass chain, priced in time: the token is "in the network"
+  // (crossing pass-through nodes) for pad_ns before its first balancer.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(pad);
+  while (std::chrono::steady_clock::now() < deadline) cpu_relax();
+}
+
 std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t input,
                                           NodeHook after_node, void* ctx) {
   CNET_CHECK(input < net_.input_width());
   CNET_CHECK(thread_id < options_.max_threads);
+  if (guard_) [[unlikely]] guard_entry();
   if (plan_) return plan_->next_hooked(thread_id, input, after_node, ctx);
 #if CNET_OBS
   if (options_.metrics != nullptr) [[unlikely]] {
@@ -139,6 +158,9 @@ void NetworkCounter::next_batch(std::uint32_t thread_id, std::uint32_t input,
                                 std::span<std::uint64_t> out) {
   CNET_CHECK(input < net_.input_width());
   CNET_CHECK(thread_id < options_.max_threads);
+  // A batch is one traversal claiming out.size() values: one guard check,
+  // one pad charge.
+  if (guard_) [[unlikely]] guard_entry();
   if (plan_) {
     plan_->next_batch(thread_id, input, out);
     return;

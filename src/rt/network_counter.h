@@ -96,7 +96,16 @@ class NetworkCounter {
   /// in quiescence.
   std::uint64_t issued() const;
 
+  /// The degraded-mode guard, when CounterOptions::degrade enabled one
+  /// (null otherwise — also when no metrics sink was given, since the guard
+  /// watches the obs estimator).
+  const DegradeGuard* degrade_guard() const { return guard_.get(); }
+
  private:
+  /// Guard preamble shared by every token path: count the token toward the
+  /// estimator check cadence and, once the kPad policy has tripped, charge
+  /// the Cor 3.12 pass-chain time before the token enters the network.
+  void guard_entry();
   struct NodeState;
 
   std::uint32_t traverse_node(std::uint32_t node_idx, std::uint32_t thread_id);
@@ -105,6 +114,7 @@ class NetworkCounter {
 
   topo::Network net_;
   CounterOptions options_;
+  std::unique_ptr<DegradeGuard> guard_;  ///< set iff degrade policy active
   std::unique_ptr<RoutingPlan> plan_;  ///< set iff engine == kCompiledPlan
   std::unique_ptr<NodeState[]> nodes_;
   std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> outputs_;

@@ -38,6 +38,7 @@
 #include <span>
 #include <vector>
 
+#include "rt/degrade_guard.h"
 #include "rt/mcs_lock.h"
 #include "topo/network.h"
 #include "util/cacheline.h"
@@ -88,6 +89,12 @@ struct CounterOptions {
   /// free of instrumentation. The sink must outlive the executor and may
   /// observe only one executor at a time.
   obs::CounterMetrics* metrics = nullptr;
+
+  /// Degraded-mode guard over the c2/c1 estimator (rt/degrade_guard.h).
+  /// Effective only with a metrics sink in a CNET_OBS build — the guard
+  /// watches metrics->hop_latency_ns; without the estimator there is
+  /// nothing to trip on, and NetworkCounter leaves the guard unconstructed.
+  DegradeGuard::Options degrade{};
 };
 
 /// Called after each node traversal when instrumenting a token's walk (the

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "mp/response_cell.h"
 #include "sim/delay_model.h"
 #include "sim/simulator.h"
 #include "util/assert.h"
@@ -29,6 +30,25 @@ struct WaitCtx {
 
 void after_node_wait(void* ctx) { busy_wait_ns(static_cast<WaitCtx*>(ctx)->wait_ns); }
 
+/// Hook context for faulted rt traversals: the W wait plus per-hop stall
+/// decisions. `hop` counts traversed nodes (1-based), which on the layered
+/// networks the builders produce is the token's layer — close enough for
+/// stall:p:ns:hop targeting (docs/ROBUSTNESS.md spells out the
+/// approximation).
+struct FaultWaitCtx {
+  std::uint64_t wait_ns;
+  fault::Injector* injector;
+  std::uint32_t thread_id;
+  std::uint32_t hop;
+};
+
+void after_node_fault(void* c) {
+  auto* ctx = static_cast<FaultWaitCtx*>(c);
+  ++ctx->hop;
+  busy_wait_ns(ctx->wait_ns);
+  busy_wait_ns(ctx->injector->stall_ns(ctx->thread_id, ctx->hop));
+}
+
 rt::CounterOptions rt_options(const BackendSpec& spec, obs::CounterMetrics* metrics) {
   rt::CounterOptions options;
   options.mode = spec.mcs ? rt::BalancerMode::kMcsLocked : rt::BalancerMode::kFetchAdd;
@@ -38,15 +58,24 @@ rt::CounterOptions rt_options(const BackendSpec& spec, obs::CounterMetrics* metr
   options.engine =
       spec.engine_walk ? rt::ExecutionEngine::kGraphWalk : rt::ExecutionEngine::kCompiledPlan;
   options.metrics = metrics;
+  options.degrade.policy = spec.degrade == DegradeMode::kPad      ? rt::DegradePolicy::kPad
+                           : spec.degrade == DegradeMode::kReport ? rt::DegradePolicy::kReport
+                                                                  : rt::DegradePolicy::kOff;
   return options;
 }
 
-mp::NetworkService::Options mp_options(const BackendSpec& spec, obs::MpMetrics* metrics) {
+mp::NetworkService::Options mp_options(const BackendSpec& spec, obs::MpMetrics* metrics,
+                                       fault::Injector* injector) {
   mp::NetworkService::Options options;
   options.workers = spec.actors;
   options.engine = spec.mp_locked ? mp::Engine::kLocked : mp::Engine::kLockFree;
   options.metrics = metrics;
+  options.fault = injector;
   return options;
+}
+
+std::unique_ptr<fault::Injector> make_injector(const BackendSpec& spec) {
+  return spec.fault.any() ? std::make_unique<fault::Injector>(spec.fault) : nullptr;
 }
 
 /// Adds the workload's per-node wait to the base link delay of tokens in
@@ -68,6 +97,27 @@ class DelayedLinkModel final : public sim::DelayModel {
   sim::DelayModel& base_;
   const std::vector<char>& token_delayed_;
   double wait_;
+};
+
+/// Folds fault-plan stalls into the link-delay draw: a stalled hop is a
+/// slower link, which in the §2 model is all a stall can be. stall_ns is
+/// interpreted in the model's time units here (fault/plan.h documents the
+/// unit switch). Keyed by token id — deterministic, since sim token ids
+/// are assigned in injection order.
+class FaultLinkModel final : public sim::DelayModel {
+ public:
+  FaultLinkModel(sim::DelayModel& base, fault::Injector& injector)
+      : base_(base), injector_(injector) {}
+
+  double link_delay(sim::TokenId token, std::uint32_t layer, Rng& rng) override {
+    const double base = base_.link_delay(token, layer, rng);
+    const std::uint64_t stall = injector_.stall_ns(static_cast<std::uint32_t>(token), layer);
+    return stall == 0 ? base : base + static_cast<double>(stall);
+  }
+
+ private:
+  sim::DelayModel& base_;
+  fault::Injector& injector_;
 };
 
 std::vector<std::uint64_t> split_ops(std::uint64_t total, std::uint32_t threads) {
@@ -101,6 +151,20 @@ SimulatedRun CountingBackend::simulate(const Workload&) {
   return {};
 }
 
+CountingBackend::TimedCount CountingBackend::count_until(std::uint32_t thread_id,
+                                                         std::uint64_t wait_ns,
+                                                         std::uint64_t timeout_ns) {
+  // No cancellation machinery: run to completion and say so. The Runner
+  // distinguishes ok-late from abandoned, so this never fakes a timeout.
+  (void)timeout_ns;
+  return {true, count_delayed(thread_id, wait_ns)};
+}
+
+CountingBackend::DrainResult CountingBackend::drain(std::uint64_t) {
+  // Operations complete on the caller's thread: joined issuers == quiescent.
+  return {};
+}
+
 void CountingBackend::register_metrics(obs::MetricsRegistry&) const {}
 
 // --- rt -------------------------------------------------------------------
@@ -111,15 +175,31 @@ RtBackend::RtBackend(const BackendSpec& spec, obs::CounterMetrics* external_metr
                          ? std::make_unique<obs::CounterMetrics>()
                          : nullptr),
       metrics_(external_metrics != nullptr ? external_metrics : owned_metrics_.get()),
+      fault_(make_injector(spec)),
       counter_(spec.build_network(), rt_options(spec, metrics_)) {}
 
-std::uint64_t RtBackend::count(std::uint32_t thread_id) { return counter_.next(thread_id); }
+std::uint64_t RtBackend::count(std::uint32_t thread_id) {
+  if (fault_ != nullptr) [[unlikely]] return count_delayed(thread_id, 0);
+  return counter_.next(thread_id);
+}
 
 void RtBackend::count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) {
+  if (fault_ != nullptr) [[unlikely]] {
+    // Stalls are per-hop, per-token decisions; the batched claim makes one
+    // traversal for the whole span, so fall back to individual tokens to
+    // keep the injected fault rate independent of the batch size.
+    for (auto& value : out) value = count_delayed(thread_id, 0);
+    return;
+  }
   counter_.next_batch(thread_id, thread_id % network().input_width(), out);
 }
 
 std::uint64_t RtBackend::count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) {
+  if (fault_ != nullptr) [[unlikely]] {
+    FaultWaitCtx ctx{wait_ns, fault_.get(), thread_id, 0};
+    return counter_.next_hooked(thread_id, thread_id % network().input_width(),
+                                after_node_fault, &ctx);
+  }
   if (wait_ns == 0) return count(thread_id);
   WaitCtx ctx{wait_ns};
   return counter_.next_hooked(thread_id, thread_id % network().input_width(), after_node_wait,
@@ -134,12 +214,18 @@ double RtBackend::c2c1_estimate() const {
   return metrics_ != nullptr ? metrics_->c2c1_estimate() : 0.0;
 }
 
+rt::DegradeGuard::Status RtBackend::degrade_status() const {
+  const rt::DegradeGuard* guard = counter_.degrade_guard();
+  return guard != nullptr ? guard->status() : rt::DegradeGuard::Status{};
+}
+
 // --- mp -------------------------------------------------------------------
 
 MpBackend::MpBackend(const BackendSpec& spec)
     : CountingBackend(spec),
       metrics_(spec.metrics ? std::make_unique<obs::MpMetrics>() : nullptr),
-      service_(spec.build_network(), mp_options(spec, metrics_.get())) {}
+      fault_(make_injector(spec)),
+      service_(spec.build_network(), mp_options(spec, metrics_.get(), fault_.get())) {}
 
 std::uint64_t MpBackend::count(std::uint32_t thread_id) {
   return service_.count(thread_id % network().input_width());
@@ -149,14 +235,65 @@ std::uint64_t MpBackend::count_delayed(std::uint32_t thread_id, std::uint64_t wa
   return service_.count_delayed(thread_id % network().input_width(), wait_ns);
 }
 
+CountingBackend::TimedCount MpBackend::count_until(std::uint32_t thread_id,
+                                                   std::uint64_t wait_ns,
+                                                   std::uint64_t timeout_ns) {
+  const mp::NetworkService::TimedCount result =
+      service_.count_until(thread_id % network().input_width(), wait_ns, timeout_ns);
+  return {result.ok, result.value};
+}
+
+CountingBackend::DrainResult MpBackend::drain(std::uint64_t deadline_ns) {
+  const mp::NetworkService::DrainReport report = service_.drain(deadline_ns);
+  DrainResult out;
+  out.quiescent = report.quiescent;
+  out.strays = report.strays;
+  out.waited_ns = report.waited_ns;
+  out.reclaimed = service_.take_parked();
+  return out;
+}
+
 void MpBackend::register_metrics(obs::MetricsRegistry& registry) const {
-  if (metrics_ != nullptr) metrics_->register_into(registry);
+  if (metrics_ == nullptr) return;
+  metrics_->register_into(registry);
+  // Response-cell arena occupancy and lifecycle. Process-wide (every
+  // service shares the one immortal arena), registered here because the
+  // arena itself has no obs dependency.
+  using Cache = mp::ResponseCellCache;
+  registry.add_gauge("mp.cells.created", "cells",
+                     [] { return static_cast<double>(Cache::cells_created()); });
+  registry.add_gauge("mp.cells.arena_owned", "cells", [] {
+    return static_cast<double>(Cache::arena_stats().owned);
+  });
+  registry.add_gauge("mp.cells.arena_free", "cells", [] {
+    return static_cast<double>(Cache::arena_stats().free_cells);
+  });
+  registry.add_gauge("mp.cells.thread_donations", "cells", [] {
+    return static_cast<double>(Cache::arena_stats().thread_donations);
+  });
+  registry.add_gauge("mp.cells.adoptions", "cells", [] {
+    return static_cast<double>(Cache::arena_stats().adoptions);
+  });
+  registry.add_gauge("mp.cells.orphan_donations", "cells", [] {
+    return static_cast<double>(Cache::arena_stats().orphan_donations);
+  });
+  // This service's deadline/recycling counters.
+  const mp::NetworkService* service = &service_;
+  registry.add_gauge("mp.deadline_timeouts", "ops", [service] {
+    return static_cast<double>(service->robustness_stats().deadline_timeouts);
+  });
+  registry.add_gauge("mp.values_parked", "values", [service] {
+    return static_cast<double>(service->robustness_stats().values_parked);
+  });
+  registry.add_gauge("mp.values_reclaimed", "values", [service] {
+    return static_cast<double>(service->robustness_stats().values_reclaimed);
+  });
 }
 
 // --- sim ------------------------------------------------------------------
 
 SimBackend::SimBackend(const BackendSpec& spec)
-    : CountingBackend(spec), net_(spec.build_network()) {}
+    : CountingBackend(spec), fault_(make_injector(spec)), net_(spec.build_network()) {}
 
 SimulatedRun SimBackend::simulate(const Workload& workload) {
   SimulatedRun out;
@@ -182,8 +319,14 @@ SimulatedRun SimBackend::simulate(const Workload& workload) {
   std::vector<std::uint32_t> token_actor;
   std::vector<char> token_delayed;
   const double wait = static_cast<double>(workload.wait);
-  DelayedLinkModel model(*base, token_delayed, wait);
-  sim::Simulator simulator(net_, model, workload.seed);
+  DelayedLinkModel delayed_model(*base, token_delayed, wait);
+  std::unique_ptr<FaultLinkModel> fault_model;
+  sim::DelayModel* model = &delayed_model;
+  if (fault_ != nullptr) {
+    fault_model = std::make_unique<FaultLinkModel>(delayed_model, *fault_);
+    model = fault_model.get();
+  }
+  sim::Simulator simulator(net_, *model, workload.seed);
 
   const std::uint32_t inputs = net_.input_width();
   const std::uint64_t total = workload.total_ops;

@@ -17,7 +17,9 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "fault/injector.h"
 #include "lin/history.h"
 #include "mp/network_service.h"
 #include "obs/backend_metrics.h"
@@ -69,8 +71,48 @@ class CountingBackend {
   /// balancer transition.
   virtual std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns);
 
+  /// Outcome of a deadline-bounded operation.
+  struct TimedCount {
+    bool ok = false;          ///< value obtained before the deadline
+    std::uint64_t value = 0;  ///< valid iff ok
+  };
+
+  /// Deadline-bounded count_delayed. mp implements real abandonment (the
+  /// token flies on; its value is parked for recycling — see
+  /// mp/network_service.h). On rt the caller IS the executor, so there is
+  /// no one to hand the traversal to: the default completes normally and
+  /// reports ok, which the Runner surfaces as "deadline not enforceable"
+  /// rather than pretending an abandonment happened.
+  virtual TimedCount count_until(std::uint32_t thread_id, std::uint64_t wait_ns,
+                                 std::uint64_t timeout_ns);
+
+  /// What a post-run quiescence drain recovered.
+  struct DrainResult {
+    bool quiescent = true;        ///< no tokens left in flight
+    std::uint64_t strays = 0;     ///< tokens still in flight at the deadline
+    std::uint64_t waited_ns = 0;  ///< wall time the drain took
+    /// Orphaned values recovered from the backend's parked-ticket buffer;
+    /// the Runner folds them into the counting check so abandoned
+    /// operations do not read as holes in the counted range.
+    std::vector<std::uint64_t> reclaimed;
+  };
+
+  /// Waits (bounded) for in-flight work and collects parked values.
+  /// Trivially quiescent on backends whose operations complete on the
+  /// caller's thread.
+  virtual DrainResult drain(std::uint64_t deadline_ns);
+
   // -- simulated backends only (CHECK-fails on live ones) --------------
   virtual SimulatedRun simulate(const Workload& workload);
+
+  // -- robustness --------------------------------------------------------
+  /// The spec's fault injector, realized for this backend; null when the
+  /// spec carries no fault plan. Mutable: the Runner draws client-death
+  /// decisions from it and reads the injection totals for the report.
+  virtual fault::Injector* fault_injector() { return nullptr; }
+  /// Degraded-mode guard status (rt only; default-constructed — policy
+  /// off — elsewhere).
+  virtual rt::DegradeGuard::Status degrade_status() const { return {}; }
 
   // -- observability ----------------------------------------------------
   /// Registers this backend's obs sink (if the spec enabled one).
@@ -100,6 +142,8 @@ class RtBackend final : public CountingBackend {
 
   void register_metrics(obs::MetricsRegistry& registry) const override;
   double c2c1_estimate() const override;
+  fault::Injector* fault_injector() override { return fault_.get(); }
+  rt::DegradeGuard::Status degrade_status() const override;
 
   /// The executor itself, for embedders that outgrow the interface.
   rt::NetworkCounter& counter() { return counter_; }
@@ -109,6 +153,7 @@ class RtBackend final : public CountingBackend {
  private:
   std::unique_ptr<obs::CounterMetrics> owned_metrics_;
   obs::CounterMetrics* metrics_ = nullptr;
+  std::unique_ptr<fault::Injector> fault_;  ///< set iff the spec carries a plan
   rt::NetworkCounter counter_;
 };
 
@@ -123,14 +168,19 @@ class MpBackend final : public CountingBackend {
 
   std::uint64_t count(std::uint32_t thread_id) override;
   std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) override;
+  TimedCount count_until(std::uint32_t thread_id, std::uint64_t wait_ns,
+                         std::uint64_t timeout_ns) override;
+  DrainResult drain(std::uint64_t deadline_ns) override;
 
   void register_metrics(obs::MetricsRegistry& registry) const override;
+  fault::Injector* fault_injector() override { return fault_.get(); }
 
   mp::NetworkService& service() { return service_; }
   obs::MpMetrics* metrics() const { return metrics_.get(); }
 
  private:
   std::unique_ptr<obs::MpMetrics> metrics_;
+  std::unique_ptr<fault::Injector> fault_;  ///< borrowed by service_; this order
   mp::NetworkService service_;
 };
 
@@ -145,8 +195,10 @@ class SimBackend final : public CountingBackend {
   const char* time_unit() const override { return "units"; }
 
   SimulatedRun simulate(const Workload& workload) override;
+  fault::Injector* fault_injector() override { return fault_.get(); }
 
  private:
+  std::unique_ptr<fault::Injector> fault_;  ///< set iff the spec carries a plan
   topo::Network net_;
 };
 

@@ -130,6 +130,18 @@ bool apply_common_option(const Parser& p, const Option& opt, BackendSpec* spec, 
     }
     return parse_on_off(p, opt.key, opt.value, &spec->metrics);
   }
+  if (opt.key == "fault") {
+    if (spec->family == Family::kPsim) {
+      return p.fail(
+          "option 'fault' does not apply to psim yet (fault plans for the "
+          "cycle simulator are an open roadmap item)");
+    }
+    std::string why;
+    if (!fault::parse_fault_plan(opt.value, &spec->fault, &why)) {
+      return p.fail("option 'fault': " + why);
+    }
+    return true;
+  }
   *handled = false;
   return true;
 }
@@ -161,8 +173,20 @@ bool apply_rt_option(const Parser& p, const Option& opt, BackendSpec* spec) {
     }
     return true;
   }
+  if (opt.key == "degrade") {
+    if (opt.value == "pad") {
+      spec->degrade = DegradeMode::kPad;
+      return true;
+    }
+    if (opt.value == "report") {
+      spec->degrade = DegradeMode::kReport;
+      return true;
+    }
+    return p.fail("option 'degrade' takes pad|report (got '" + std::string(opt.value) + "')");
+  }
   return p.fail("unknown rt option '" + std::string(opt.key) +
-                "' (valid: engine, diffraction, mcs, prism, threads, pad, metrics)");
+                "' (valid: engine, diffraction, mcs, prism, threads, degrade, pad, metrics, "
+                "fault)");
 }
 
 bool apply_psim_option(const Parser& p, const Option& opt, BackendSpec* spec) {
@@ -213,7 +237,7 @@ bool apply_sim_option(const Parser& p, const Option& opt, BackendSpec* spec) {
     return true;
   }
   return p.fail("unknown sim option '" + std::string(opt.key) +
-                "' (valid: model, c1, c2, pad)");
+                "' (valid: model, c1, c2, pad, fault)");
 }
 
 bool apply_mp_option(const Parser& p, const Option& opt, BackendSpec* spec) {
@@ -237,7 +261,7 @@ bool apply_mp_option(const Parser& p, const Option& opt, BackendSpec* spec) {
                   "')");
   }
   return p.fail("unknown mp option '" + std::string(opt.key) +
-                "' (valid: actors, engine, pad, metrics)");
+                "' (valid: actors, engine, pad, metrics, fault)");
 }
 
 bool validate_combination(const Parser& p, BackendSpec* spec) {
@@ -256,6 +280,20 @@ bool validate_combination(const Parser& p, BackendSpec* spec) {
     // Diffraction only applies to 1-in/2-out nodes; bitonic/periodic have
     // none, so accepting the flag there would silently do nothing.
     return p.fail("option 'diffraction' requires the tree structure");
+  }
+  if (spec->fault.any() && spec->family != Family::kMp) {
+    // Token stalls exist everywhere a token traverses links; the other
+    // clauses name mp-specific machinery (workers to pause, deliveries to
+    // delay, clients that can abandon a token and let it fly on).
+    if (spec->fault.has_pauses() || spec->fault.has_deaths() || spec->fault.has_delays()) {
+      return p.fail("fault clauses pause/die/delay apply to mp only (" +
+                    std::string(family_name(spec->family)) + " supports stall)");
+    }
+  }
+  if (spec->degrade != DegradeMode::kOff && !spec->metrics) {
+    return p.fail(
+        "option 'degrade' requires metrics=on (the guard watches the obs "
+        "c2/c1 estimator)");
   }
   return true;
 }
@@ -375,6 +413,8 @@ std::string BackendSpec::to_string() const {
       if (max_threads != defaults.max_threads) {
         opts.push_back("threads=" + std::to_string(max_threads));
       }
+      if (degrade == DegradeMode::kPad) opts.push_back("degrade=pad");
+      if (degrade == DegradeMode::kReport) opts.push_back("degrade=report");
       break;
     case Family::kPsim:
       if (procs != defaults.procs) opts.push_back("procs=" + std::to_string(procs));
@@ -407,6 +447,7 @@ std::string BackendSpec::to_string() const {
   }
   if (pad_ratio != defaults.pad_ratio) opts.push_back("pad=" + std::to_string(pad_ratio));
   if (metrics) opts.push_back("metrics=on");
+  if (fault.any()) opts.push_back("fault=" + fault.to_string());
 
   for (std::size_t i = 0; i < opts.size(); ++i) {
     s += i == 0 ? '?' : '&';

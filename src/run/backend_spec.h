@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "fault/plan.h"
 #include "topo/network.h"
 
 namespace cnet::run {
@@ -48,6 +49,15 @@ enum class DelayKind : std::uint8_t {
   kFixed,    ///< every link takes exactly c1 (synchronous executions)
 };
 
+/// rt degraded-mode policy (`degrade=pad|report`): what the DegradeGuard
+/// does when the online c2/c1 estimate crosses the Cor 3.9 threshold (see
+/// rt/degrade_guard.h for the semantics of each policy).
+enum class DegradeMode : std::uint8_t {
+  kOff,
+  kPad,     ///< engage Cor 3.12 pass-through padding live
+  kReport,  ///< downgrade the run's guarantee to counting-only
+};
+
 /// Parsed, validated description of one backend instance. Fields outside the
 /// family's section are ignored by the builders; the parser rejects options
 /// that do not apply to the named family so a spec string never silently
@@ -63,6 +73,11 @@ struct BackendSpec {
   /// Attach the family's obs sink (`metrics` / `metrics=on`); rt, psim and
   /// mp only — the sim family has no obs surface.
   bool metrics = false;
+  /// `fault=<plan>`: seeded fault injection (mini-grammar and clause/family
+  /// support matrix in fault/plan.h). Stalls apply to rt, mp, and sim;
+  /// pauses, deaths, and delivery delays are mp-only; psim rejects fault
+  /// plans (open roadmap item). Empty plan = no injection.
+  fault::FaultPlan fault{};
 
   // -- rt -------------------------------------------------------------
   /// `engine=walk` selects the reference graph walk over the compiled plan.
@@ -76,6 +91,9 @@ struct BackendSpec {
   std::uint32_t prism_width = 0;
   /// `threads=<n>`: upper bound on concurrent caller ids (rt only).
   std::uint32_t max_threads = 256;
+  /// `degrade=pad|report`: degraded-mode guard policy (rt only; requires
+  /// metrics=on, since the guard watches the obs c2/c1 estimator).
+  DegradeMode degrade = DegradeMode::kOff;
 
   // -- psim -----------------------------------------------------------
   /// `procs=<n>`: simulated processors; 0 = take Workload::threads.

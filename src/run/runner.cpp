@@ -30,23 +30,51 @@ std::vector<std::uint64_t> split_ops(std::uint64_t total, std::uint32_t threads)
 }
 
 /// One live issuer thread: runs its share of the workload against the
-/// backend, recording an Operation per claimed value.
+/// backend, recording an Operation per claimed value. `stop` (optional)
+/// ends the run early between operations; `injector` (optional) supplies
+/// the client-death schedule — a dying op abandons with a zero deadline
+/// via count_until and records nothing (counted in `*abandoned` instead;
+/// its value surfaces through the backend's recycling path).
 void live_issuer(CountingBackend& backend, const Workload& workload, std::uint32_t tid,
                  std::uint64_t quota, bool delayed, std::uint64_t thread_seed,
-                 const std::atomic<bool>& go, Clock::time_point* t0, lin::History* ops) {
+                 const std::atomic<bool>& go, const std::atomic<bool>* stop,
+                 fault::Injector* injector, Clock::time_point* t0, lin::History* ops,
+                 std::uint64_t* abandoned) {
   while (!go.load(std::memory_order_acquire)) {
     cpu_relax();  // starting gun: all issuers ramp together
   }
   ops->reserve(quota);
-  const std::uint32_t batch = delayed ? 1 : std::max(1u, workload.batch);
+  const bool deaths = injector != nullptr && injector->plan().has_deaths();
+  // Deaths need per-op issuance: the schedule is per operation, and a
+  // batched claim has no per-value abandonment point.
+  const std::uint32_t batch = (delayed || deaths) ? 1 : std::max(1u, workload.batch);
   std::vector<std::uint64_t> values(batch);
+  std::uint64_t issued = 0;  // per-thread op index for the death schedule
+
+  const auto stopped = [stop] {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  };
 
   const auto issue_block = [&](std::uint64_t n) {
     const double start = ns_since(*t0);
     if (n == 1) {
-      values[0] = delayed ? backend.count_delayed(tid, workload.wait) : backend.count(tid);
+      const std::uint64_t op_index = issued++;
+      const std::uint64_t wait = delayed ? workload.wait : 0;
+      if (deaths && injector->should_die(tid, op_index)) {
+        const CountingBackend::TimedCount timed = backend.count_until(tid, wait, 0);
+        if (!timed.ok) {
+          ++*abandoned;
+          return;  // no Operation: the value parks and gets recycled
+        }
+        values[0] = timed.value;  // beat even the zero deadline — keep it
+      } else if (delayed) {
+        values[0] = backend.count_delayed(tid, wait);
+      } else {
+        values[0] = backend.count(tid);
+      }
     } else {
       backend.count_batch(tid, std::span<std::uint64_t>(values).first(n));
+      issued += n;
     }
     const double end = ns_since(*t0);
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -56,7 +84,7 @@ void live_issuer(CountingBackend& backend, const Workload& workload, std::uint32
 
   if (workload.arrival == Arrival::kClosed) {
     std::uint64_t remaining = quota;
-    while (remaining != 0) {
+    while (remaining != 0 && !stopped()) {
       const std::uint64_t n = std::min<std::uint64_t>(batch, remaining);
       issue_block(n);
       remaining -= n;
@@ -68,29 +96,54 @@ void live_issuer(CountingBackend& backend, const Workload& workload, std::uint32
     const double mean_gap_ns =
         1e9 * static_cast<double>(std::max(1u, workload.threads)) / workload.rate;
     double next_arrival = 0.0;
-    for (std::uint64_t i = 0; i < quota; ++i) {
+    for (std::uint64_t i = 0; i < quota && !stopped(); ++i) {
       next_arrival += -mean_gap_ns * std::log(1.0 - gaps.unit());
       while (ns_since(*t0) < next_arrival) {
+        if (stopped()) return;
         cpu_relax();
       }
       issue_block(1);
     }
   } else {  // Arrival::kBurst
     std::uint64_t remaining = quota;
-    for (std::uint64_t burst = 0; remaining != 0; ++burst) {
+    for (std::uint64_t burst = 0; remaining != 0 && !stopped(); ++burst) {
       const double target = static_cast<double>(burst) * workload.burst_gap;
       while (ns_since(*t0) < target) {
+        if (stopped()) return;
         cpu_relax();
       }
       std::uint64_t in_burst = std::min<std::uint64_t>(workload.burst_size, remaining);
       remaining -= in_burst;
-      while (in_burst != 0) {
+      while (in_burst != 0 && !stopped()) {
         const std::uint64_t n = std::min<std::uint64_t>(batch, in_burst);
         issue_block(n);
         in_burst -= n;
       }
     }
   }
+}
+
+/// Counting check over the history's values plus the values the post-run
+/// drain reclaimed: together they must be exactly {0..n-1}. Every value
+/// the outputs issued is accounted for — completed, recycled into a later
+/// operation, or recovered from the parked buffer — with no duplicates.
+bool counting_with_reclaimed(const lin::History& history,
+                             const std::vector<std::uint64_t>& reclaimed,
+                             std::string* message) {
+  std::vector<std::uint64_t> values;
+  values.reserve(history.size() + reclaimed.size());
+  for (const lin::Operation& op : history) values.push_back(op.value);
+  values.insert(values.end(), reclaimed.begin(), reclaimed.end());
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == i) continue;
+    *message = values[i] < i
+                   ? "value " + std::to_string(values[i]) +
+                         " appears more than once (history + reclaimed)"
+                   : "value " + std::to_string(i) + " missing (history + reclaimed)";
+    return false;
+  }
+  return true;
 }
 
 RunReport reject(RunReport report, std::string why) {
@@ -123,7 +176,8 @@ std::string Workload::to_string() const {
   return s;
 }
 
-RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
+RunReport Runner::run(CountingBackend& backend, const Workload& workload,
+                      const std::atomic<bool>* stop) {
   RunReport report;
   report.spec = backend.spec();
   report.workload = workload;
@@ -153,6 +207,8 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
         std::lround(workload.delayed_fraction * static_cast<double>(threads)));
     const std::vector<std::uint64_t> quota = split_ops(workload.total_ops, threads);
     std::vector<lin::History> per_thread(threads);
+    std::vector<std::uint64_t> abandoned(threads, 0);
+    fault::Injector* injector = backend.fault_injector();
 
     // Per-thread deterministic seeds for the Poisson pacers.
     std::uint64_t seed_state = workload.seed;
@@ -166,8 +222,8 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
       issuers.reserve(threads);
       for (std::uint32_t tid = 0; tid < threads; ++tid) {
         issuers.emplace_back(live_issuer, std::ref(backend), std::cref(workload), tid,
-                             quota[tid], tid < n_delayed, seeds[tid], std::cref(go), &t0,
-                             &per_thread[tid]);
+                             quota[tid], tid < n_delayed, seeds[tid], std::cref(go), stop,
+                             injector, &t0, &per_thread[tid], &abandoned[tid]);
       }
       t0 = Clock::now();
       go.store(true, std::memory_order_release);
@@ -178,6 +234,17 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
     for (const lin::Operation& op : report.history) {
       report.makespan = std::max(report.makespan, op.end);
     }
+    for (std::uint64_t a : abandoned) report.abandoned_ops += a;
+    report.interrupted = stop != nullptr && stop->load(std::memory_order_acquire);
+
+    // Quiesce before analysis: abandoned tokens may still be in flight, and
+    // their parked values belong in the counting check.
+    constexpr std::uint64_t kDrainDeadlineNs = 5'000'000'000;
+    CountingBackend::DrainResult drained = backend.drain(kDrainDeadlineNs);
+    report.drain_quiescent = drained.quiescent;
+    report.stray_tokens = drained.strays;
+    report.drain_wait_ns = drained.waited_ns;
+    report.reclaimed_values = std::move(drained.reclaimed);
   } else {
     SimulatedRun result = backend.simulate(workload);
     if (!result.ok) return reject(std::move(report), std::move(result.error));
@@ -190,17 +257,38 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload) {
   // Uniform post-run analysis: Def 2.4, counting property, step property,
   // latency/throughput, and the obs snapshot.
   report.analysis = lin::check(report.history);
-  report.counting_ok = lin::values_form_range(report.history, &report.counting_message);
+  if (report.reclaimed_values.empty()) {
+    report.counting_ok = lin::values_form_range(report.history, &report.counting_message);
+  } else {
+    report.counting_ok = counting_with_reclaimed(report.history, report.reclaimed_values,
+                                                 &report.counting_message);
+  }
   std::vector<std::uint64_t> per_output(backend.network().output_width(), 0);
   for (const lin::Operation& op : report.history) {
     ++per_output[op.value % per_output.size()];
     report.op_latency.add(op.end - op.start);
+  }
+  // Reclaimed values exited the network's outputs too — the step property
+  // is about what the outputs issued, not what the clients kept.
+  for (std::uint64_t value : report.reclaimed_values) {
+    ++per_output[value % per_output.size()];
   }
   report.step_ok = topo::has_step_property(per_output);
   if (report.makespan > 0.0) {
     report.throughput = static_cast<double>(report.history.size()) / report.makespan;
   }
   report.c2c1_estimate = backend.c2c1_estimate();
+
+  fault::Injector* injector = backend.fault_injector();
+  report.faults = injector != nullptr;
+  if (injector != nullptr) report.fault_stats = injector->stats();
+  report.degrade = backend.degrade_status();
+  const bool guard_downgraded =
+      report.degrade.policy == rt::DegradePolicy::kReport && report.degrade.tripped;
+  if (guard_downgraded || report.abandoned_ops != 0) {
+    report.guarantee = RunReport::Guarantee::kCountingOnly;
+  }
+
   obs::MetricsRegistry registry;
   backend.register_metrics(registry);
   report.metrics = registry.snapshot();
@@ -217,6 +305,9 @@ std::string RunReport::to_text() const {
   }
   s += "spec     : " + spec.to_string() + "\n";
   s += "workload : " + workload.to_string() + "\n";
+  if (interrupted) {
+    s += "status   : INTERRUPTED — issuers stopped early, history is partial\n";
+  }
   std::snprintf(buf, sizeof buf, "ops      : %zu completed, values %s, step property %s\n",
                 history.size(), counting_ok ? "0..n-1 exactly once" : counting_message.c_str(),
                 step_ok ? "ok" : "VIOLATED");
@@ -249,6 +340,51 @@ std::string RunReport::to_text() const {
     std::snprintf(buf, sizeof buf, "c2/c1    : %.2f online estimate (Cor 3.9 needs <= 2)\n",
                   c2c1_estimate);
     s += buf;
+  }
+  if (degrade.policy != rt::DegradePolicy::kOff) {
+    const char* policy = degrade.policy == rt::DegradePolicy::kPad ? "pad" : "report";
+    if (!degrade.tripped) {
+      std::snprintf(buf, sizeof buf, "degrade  : %s armed, c2/c1 estimate %.2f\n", policy,
+                    degrade.estimate);
+    } else if (degrade.policy == rt::DegradePolicy::kPad) {
+      std::snprintf(buf, sizeof buf,
+                    "degrade  : pad TRIPPED at c2/c1 %.2f — %u-stage Cor 3.12 pad, "
+                    "%llu ns per op\n",
+                    degrade.estimate, degrade.pad_len,
+                    static_cast<unsigned long long>(degrade.pad_ns));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "degrade  : report TRIPPED at c2/c1 %.2f — hop p10 %.0f ns, p90 %.0f ns\n",
+                    degrade.estimate, degrade.hop_p10, degrade.hop_p90);
+    }
+    s += buf;
+  }
+  if (faults) {
+    std::snprintf(buf, sizeof buf,
+                  "faults   : %llu stalls (%.1f ms), %llu pauses, %llu delays, %llu deaths\n",
+                  static_cast<unsigned long long>(fault_stats.stalls),
+                  static_cast<double>(fault_stats.stall_ns) / 1e6,
+                  static_cast<unsigned long long>(fault_stats.pauses),
+                  static_cast<unsigned long long>(fault_stats.delays),
+                  static_cast<unsigned long long>(fault_stats.deaths));
+    s += buf;
+  }
+  if (faults || interrupted || abandoned_ops != 0 || !reclaimed_values.empty() ||
+      !drain_quiescent) {
+    const std::string drain_text =
+        drain_quiescent ? "quiescent"
+                        : std::to_string(stray_tokens) + " STRAY TOKENS at deadline";
+    std::snprintf(buf, sizeof buf,
+                  "robust   : %llu abandoned, %zu values reclaimed, drain %s (%.1f ms)\n",
+                  static_cast<unsigned long long>(abandoned_ops), reclaimed_values.size(),
+                  drain_text.c_str(), static_cast<double>(drain_wait_ns) / 1e6);
+    s += buf;
+  }
+  if (guarantee == Guarantee::kCountingOnly) {
+    s += "guarantee: counting-only — linearizability forfeited "
+         "(abandonments recycle stale values / guard tripped)\n";
+  } else if (faults || degrade.policy != rt::DegradePolicy::kOff) {
+    s += "guarantee: linearizable\n";
   }
   return s;
 }

@@ -9,10 +9,21 @@
 // carries the full lin::History, the Def 2.4 analysis, the counting and
 // step-property checks, latency/throughput summaries, the backend's obs
 // snapshot, and the online c2/c1 estimate.
+//
+// Robustness: a run may be interrupted (the stop token — cnet_cli wires
+// SIGINT to it), operations may be abandoned (fault-plan client deaths),
+// and the backend may hold orphaned values after the issuers join. The
+// Runner always drains the backend before analysis, folds reclaimed values
+// into the counting check (an abandoned operation's value must not read as
+// a hole in the range), and reports the run's *guarantee*: linearizable,
+// or counting-only once abandonments recycled stale values or the rt
+// DegradeGuard tripped under the report policy.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "lin/checker.h"
 #include "lin/history.h"
@@ -55,6 +66,31 @@ struct RunReport {
   /// Snapshot of the backend's registered obs metrics (empty if none).
   obs::Snapshot metrics;
 
+  // -- robustness -------------------------------------------------------
+
+  /// The strongest consistency claim this run supports. Linearizability is
+  /// forfeited when an abandoned operation's stale value was (or may yet
+  /// be) recycled, or when the rt DegradeGuard tripped under the report
+  /// policy; the counting property is still checked either way.
+  enum class Guarantee : std::uint8_t { kLinearizable, kCountingOnly };
+  Guarantee guarantee = Guarantee::kLinearizable;
+
+  /// The stop token fired: issuers wound down early, history is partial.
+  bool interrupted = false;
+  /// Operations abandoned mid-flight (deadline timeouts / client deaths);
+  /// they record no Operation, their values surface via recycling.
+  std::uint64_t abandoned_ops = 0;
+  /// Orphaned values still parked after the post-run drain (folded into
+  /// the counting check alongside the history).
+  std::vector<std::uint64_t> reclaimed_values;
+  bool drain_quiescent = true;   ///< post-run drain reached zero in flight
+  std::uint64_t stray_tokens = 0;   ///< tokens still in flight at the drain deadline
+  std::uint64_t drain_wait_ns = 0;  ///< wall time the drain took
+
+  bool faults = false;                   ///< a fault plan was active
+  fault::Injector::Stats fault_stats;    ///< what was actually injected
+  rt::DegradeGuard::Status degrade;      ///< guard status (policy kOff if absent)
+
   /// Multi-line human-readable rendering (what `cnet_cli run` prints).
   std::string to_text() const;
 };
@@ -66,7 +102,13 @@ class Runner {
   /// on psim, more rt threads than the spec's
   /// bound). The backend should be freshly constructed: the counting check
   /// assumes values start at 0.
-  RunReport run(CountingBackend& backend, const Workload& workload);
+  ///
+  /// `stop` (optional, live backends): issuers poll it between operations
+  /// and inside pacing waits; once true they finish their current
+  /// operation and wind down — no token is torn mid-flight, the backend is
+  /// drained, and the (partial) report is produced with `interrupted` set.
+  RunReport run(CountingBackend& backend, const Workload& workload,
+                const std::atomic<bool>* stop = nullptr);
 };
 
 }  // namespace cnet::run

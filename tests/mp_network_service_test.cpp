@@ -31,7 +31,7 @@ std::string engine_name(const ::testing::TestParamInfo<Engine>& info) {
 class MpActorRuntime : public ::testing::TestWithParam<Engine> {};
 
 TEST_P(MpActorRuntime, DeliversInOrderPerActor) {
-  ActorRuntime runtime(ActorRuntime::Options{2, GetParam()});
+  ActorRuntime runtime(ActorRuntime::Options{.workers = 2, .engine = GetParam()});
   std::vector<std::uint64_t> seen;
   const ActorId actor = runtime.add_actor([&seen](ActorId, const Message& message) {
     seen.push_back(message.payload);  // serialized per actor: no lock needed
@@ -59,7 +59,7 @@ TEST_P(MpActorRuntime, DeliversInOrderPerActor) {
 }
 
 TEST_P(MpActorRuntime, CountsProcessedMessages) {
-  ActorRuntime runtime(ActorRuntime::Options{1, GetParam()});
+  ActorRuntime runtime(ActorRuntime::Options{.workers = 1, .engine = GetParam()});
   const ActorId sink = runtime.add_actor([](ActorId, const Message&) {});
   runtime.start();
   for (int i = 0; i < 50; ++i) runtime.send(sink, Message{});
@@ -68,7 +68,7 @@ TEST_P(MpActorRuntime, CountsProcessedMessages) {
 }
 
 TEST_P(MpActorRuntime, ManyProducersOneConsumerKeepPerProducerOrder) {
-  ActorRuntime runtime(ActorRuntime::Options{2, GetParam()});
+  ActorRuntime runtime(ActorRuntime::Options{.workers = 2, .engine = GetParam()});
   constexpr std::uint64_t kProducers = 4;
   constexpr std::uint64_t kPerProducer = 3000;
   // payload = producer * kPerProducer + sequence; the single actor must see
@@ -239,6 +239,7 @@ TEST(MpSteadyState, ResponseCellsSurviveThreadChurn) {
   NetworkService service(net, {.workers = 2, .engine = Engine::kLockFree});
   std::jthread([&service] { service.count(0); }).join();  // donor warm-up
   const std::uint64_t before = ResponseCellCache::cells_created();
+  const ResponseCellCache::ArenaStats arena_before = ResponseCellCache::arena_stats();
   for (int round = 0; round < 50; ++round) {
     std::jthread([&service, round] {
       for (int i = 0; i < 20; ++i) service.count(static_cast<std::uint32_t>((round + i) % 4));
@@ -246,6 +247,12 @@ TEST(MpSteadyState, ResponseCellsSurviveThreadChurn) {
   }
   EXPECT_EQ(ResponseCellCache::cells_created(), before)
       << "exiting clients leaked cells instead of donating them for adoption";
+  // The arena's lifecycle counters show the actual circulation: every round
+  // adopted the donor's cell and donated it back on exit.
+  const ResponseCellCache::ArenaStats arena_after = ResponseCellCache::arena_stats();
+  EXPECT_GE(arena_after.adoptions, arena_before.adoptions + 50);
+  EXPECT_GE(arena_after.thread_donations, arena_before.thread_donations + 50);
+  EXPECT_GT(arena_after.free_cells, 0u);
 }
 
 #if CNET_OBS

@@ -35,8 +35,11 @@
 //       chrome://tracing JSON of sampled token hops
 //
 // Exit codes: 0 success, 1 a property check failed, 2 usage error (unknown
-// command, malformed spec or workload key).
+// command, malformed spec or workload key), 130 run interrupted by SIGINT
+// (after a graceful drain and a partial report).
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -278,15 +281,27 @@ int cmd_exhaustive(const std::string& kind, std::uint32_t width, std::uint32_t t
   return 1;
 }
 
+/// Set by the SIGINT handler; the Runner's issuers poll it between ops.
+std::atomic<bool> g_interrupt{false};
+
+void on_sigint(int) { g_interrupt.store(true, std::memory_order_relaxed); }
+
 int cmd_run(const run::BackendSpec& spec, const run::Workload& workload) {
   std::unique_ptr<run::CountingBackend> backend = run::make_backend(spec);
   run::Runner runner;
-  const run::RunReport report = runner.run(*backend, workload);
+  // SIGINT means "stop measuring", not "tear the process down": issuers
+  // wind down at the next op boundary, the backend drains, and the partial
+  // report still prints — exit 130, shell convention for death-by-SIGINT.
+  g_interrupt.store(false, std::memory_order_relaxed);
+  auto* previous = std::signal(SIGINT, on_sigint);
+  const run::RunReport report = runner.run(*backend, workload, &g_interrupt);
+  std::signal(SIGINT, previous);
   if (!report.ok) {
     std::fprintf(stderr, "%s", report.to_text().c_str());
     return 2;
   }
   std::fputs(report.to_text().c_str(), stdout);
+  if (report.interrupted) return 130;
   return report.counting_ok && report.step_ok ? 0 : 1;
 }
 
