@@ -1,0 +1,130 @@
+// Service throughput over real loopback TCP: the BENCH_svc series
+// (scripts/bench_json.sh). The batched/unbatched pairs are the ablation the
+// svc layer exists for — the identical epoll loop, protocol, and client
+// pattern, differing only in whether one wake's requests are issued against
+// the backend in bulk (one next_batch per chunk on rt, one pooled burst of
+// mailbox sends on mp) or one at a time.
+//
+// Each benchmark thread is one TCP connection running a pipelined window:
+// per iteration it sends kWindow requests back-to-back, then drains the
+// kWindow responses. With 8 connections the server's wakes coalesce up to
+// 8 x kWindow requests, which is exactly the boundary the batching
+// amortizes. items/s counts individual counting operations; p99_us is the
+// per-connection p99 of the full window round trip (averaged across
+// connections).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "run/backend.h"
+#include "svc/client.h"
+#include "svc/server.h"
+
+namespace {
+
+using namespace cnet;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kWindow = 8;  ///< pipelined requests per iteration
+
+std::unique_ptr<run::CountingBackend> g_backend;
+std::unique_ptr<svc::Server> g_server;
+
+void setup_server(const std::string& spec_text, bool batching) {
+  g_backend = run::make_backend(run::parse_spec_or_die(spec_text));
+  svc::ServerOptions options;
+  options.batching = batching;
+  g_server = std::make_unique<svc::Server>(*g_backend, options);
+  std::string error;
+  if (!g_server->start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    std::abort();
+  }
+}
+
+void teardown_server(const benchmark::State&) {
+  g_server.reset();
+  g_backend.reset();
+}
+
+void setup_rt_batched(const benchmark::State&) { setup_server("rt:bitonic:8", true); }
+void setup_rt_unbatched(const benchmark::State&) { setup_server("rt:bitonic:8", false); }
+void setup_mp_batched(const benchmark::State&) { setup_server("mp:tree:8?actors=2", true); }
+void setup_mp_unbatched(const benchmark::State&) { setup_server("mp:tree:8?actors=2", false); }
+
+double percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const auto at = static_cast<std::size_t>(q * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[at];
+}
+
+void run_window_body(benchmark::State& state) {
+  svc::Client client;
+  std::string error;
+  if (!client.connect("127.0.0.1", g_server->port(), &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  std::vector<double> window_ns;
+  std::uint64_t id = static_cast<std::uint64_t>(state.thread_index()) << 40;
+  svc::Response response;
+  for (auto _ : state) {
+    const Clock::time_point t0 = Clock::now();
+    for (std::uint32_t i = 0; i < kWindow; ++i) client.queue_count(id++);
+    if (!client.flush(&error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    for (std::uint32_t i = 0; i < kWindow; ++i) {
+      if (!client.recv_response(&response, &error)) {
+        state.SkipWithError(error.c_str());
+        return;
+      }
+      if (response.status != svc::Status::kOk) {
+        state.SkipWithError("non-ok response");
+        return;
+      }
+    }
+    window_ns.push_back(std::chrono::duration<double, std::nano>(Clock::now() - t0).count());
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+  state.counters["p99_us"] =
+      benchmark::Counter(percentile(&window_ns, 0.99) / 1e3, benchmark::Counter::kAvgThreads);
+}
+
+void BM_SvcRtBatched(benchmark::State& state) { run_window_body(state); }
+BENCHMARK(BM_SvcRtBatched)
+    ->Setup(setup_rt_batched)
+    ->Teardown(teardown_server)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SvcRtUnbatched(benchmark::State& state) { run_window_body(state); }
+BENCHMARK(BM_SvcRtUnbatched)
+    ->Setup(setup_rt_unbatched)
+    ->Teardown(teardown_server)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SvcMpBatched(benchmark::State& state) { run_window_body(state); }
+BENCHMARK(BM_SvcMpBatched)
+    ->Setup(setup_mp_batched)
+    ->Teardown(teardown_server)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SvcMpUnbatched(benchmark::State& state) { run_window_body(state); }
+BENCHMARK(BM_SvcMpUnbatched)
+    ->Setup(setup_mp_unbatched)
+    ->Teardown(teardown_server)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

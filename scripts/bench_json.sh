@@ -4,19 +4,57 @@
 # psim engine benches (timing wheel vs retired heap on the fig5-shaped mix),
 # merging both google-benchmark JSON reports into BENCH_rt.json at the repo
 # root; the observability-overhead benches (metrics off / sampled /
-# full / traced; see docs/OBSERVABILITY.md) into BENCH_obs.json; and the mp
+# full / traced; see docs/OBSERVABILITY.md) into BENCH_obs.json; the mp
 # engine comparison (lock-free fast path vs locked oracle, bitonic + tree,
-# 1..8 client threads) into BENCH_mp.json. Pass different output paths as
-# $1, $2 and $3.
+# 1..8 client threads) into BENCH_mp.json; and the service boundary-batching
+# ablation (batched vs textbook per-request loop over real loopback TCP, 8
+# connections; see docs/SERVICE.md) into BENCH_svc.json. Pass different
+# output paths as $1..$4.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_rt.json}"
 obs_out="${2:-BENCH_obs.json}"
 mp_out="${3:-BENCH_mp.json}"
+svc_out="${4:-BENCH_svc.json}"
 min_time="${BENCH_MIN_TIME:-0.1}"
 
 [ -x build/bench/throughput_rt ] || { echo "build first: cmake -B build && cmake --build build" >&2; exit 1; }
+
+# Build-type guard: recorded numbers must come from an optimized, unsanitized
+# binary. The apt google-benchmark library always reports its own
+# library_build_type as "debug", so the effective flavour comes from the
+# file the top-level CMakeLists writes into the build tree — refuse anything
+# but Release unless BENCH_ALLOW_DEBUG=1 explicitly overrides, and stamp the
+# flavour into every JSON context either way so a bad snapshot is at least
+# self-incriminating.
+build_type="unknown"
+[ -f build/cnet_build_type.txt ] && build_type=$(cat build/cnet_build_type.txt)
+if [ "$build_type" != "Release" ]; then
+  if [ "${BENCH_ALLOW_DEBUG:-0}" = "1" ]; then
+    echo "WARNING: recording benchmarks from a '$build_type' build (BENCH_ALLOW_DEBUG=1)." >&2
+    echo "WARNING: these numbers are NOT comparable to Release snapshots." >&2
+  else
+    echo "refusing to record benchmarks from a '$build_type' build." >&2
+    echo "reconfigure with: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+    echo "(or set BENCH_ALLOW_DEBUG=1 to record anyway, loudly tagged)" >&2
+    exit 1
+  fi
+fi
+
+# Stamps the cnet build flavour into a report's context block (in place).
+tag_build_type() {
+  python3 - "$1" "$build_type" <<'EOF'
+import json, sys
+path, build_type = sys.argv[1:3]
+with open(path) as f:
+    report = json.load(f)
+report["context"]["cnet_build_type"] = build_type
+with open(path, "w") as f:
+    json.dump(report, f, indent=1)
+    f.write("\n")
+EOF
+}
 
 tmp_rt=$(mktemp) tmp_psim=$(mktemp)
 trap 'rm -f "$tmp_rt" "$tmp_psim"' EXIT
@@ -40,6 +78,7 @@ with open(out, "w") as f:
     json.dump(a, f, indent=1)
     f.write("\n")
 EOF
+tag_build_type "$out"
 echo "wrote $out ($(python3 -c "import json;print(len(json.load(open('$out'))['benchmarks']))") benchmarks)"
 
 # Key guard: downstream dashboards join on benchmark names, so a rename in
@@ -62,11 +101,13 @@ EOF
 build/bench/obs_overhead \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json >"$obs_out"
+tag_build_type "$obs_out"
 echo "wrote $obs_out ($(python3 -c "import json;print(len(json.load(open('$obs_out'))['benchmarks']))") benchmarks)"
 
 build/bench/throughput_mp \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json >"$mp_out"
+tag_build_type "$mp_out"
 echo "wrote $mp_out ($(python3 -c "import json;print(len(json.load(open('$mp_out'))['benchmarks']))") benchmarks)"
 
 # Same key guard for the mp series: both engines must be present or the
@@ -74,6 +115,24 @@ echo "wrote $mp_out ($(python3 -c "import json;print(len(json.load(open('$mp_out
 python3 - "$mp_out" <<'EOF'
 import json, sys
 required = ["BM_MpLockFree", "BM_MpLocked", "BM_MpTreeLockFree", "BM_MpTreeLocked"]
+with open(sys.argv[1]) as f:
+    names = {b["name"] for b in json.load(f)["benchmarks"]}
+missing = [r for r in required if not any(n.startswith(r) for n in names)]
+if missing:
+    sys.exit(f"benchmark series missing from {sys.argv[1]}: {', '.join(missing)}")
+EOF
+
+build/bench/throughput_svc \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json >"$svc_out"
+tag_build_type "$svc_out"
+echo "wrote $svc_out ($(python3 -c "import json;print(len(json.load(open('$svc_out'))['benchmarks']))") benchmarks)"
+
+# The svc series is an ablation: both sides of the batched/unbatched pair
+# must be present for either backend's number to mean anything.
+python3 - "$svc_out" <<'EOF'
+import json, sys
+required = ["BM_SvcRtBatched", "BM_SvcRtUnbatched", "BM_SvcMpBatched", "BM_SvcMpUnbatched"]
 with open(sys.argv[1]) as f:
     names = {b["name"] for b in json.load(f)["benchmarks"]}
 missing = [r for r in required if not any(n.startswith(r) for n in names)]

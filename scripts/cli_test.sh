@@ -42,7 +42,7 @@ check_output() {
 }
 
 # --- usage covers every command, and usage errors exit 2 -------------------
-for cmd in info dot verify simulate workload exhaustive run count stats; do
+for cmd in info dot verify simulate workload exhaustive run count stats serve; do
   check_output "usage mentions '$cmd'" "cnet_cli $cmd" "$CLI"
 done
 check_rc "no arguments is a usage error" 2 "$CLI"
@@ -103,6 +103,35 @@ else
   failures=$((failures + 1))
 fi
 rm -f /tmp/cnet_sigint_report.$$
+
+# --- serve: wind-down contract matches run's --------------------------------
+check_rc "serve rejects unknown options" 2 "$CLI" serve "mp:tree:8" --turbo
+check_rc "serve rejects simulated families" 2 "$CLI" serve "sim:bitonic:8"
+check_output "serve diagnostic names the live requirement" "live" \
+  "$CLI" serve "sim:bitonic:8"
+
+# A server on an ephemeral port; SIGINT must stop accepting, drain, print
+# the serving stats, and exit 130 — the same contract as an interrupted run.
+"$CLI" serve "mp:tree:8?actors=1" --port 0 > /tmp/cnet_serve_report.$$ 2>&1 &
+serve_pid=$!
+sleep 1
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_rc=$?
+if [ "$serve_rc" -eq 130 ]; then
+  echo "ok: SIGINT serve exits 130"
+else
+  echo "FAIL: SIGINT serve — expected exit 130, got $serve_rc" >&2
+  failures=$((failures + 1))
+fi
+if grep -q "serving mp:tree:8" /tmp/cnet_serve_report.$$ \
+    && grep -q "shut down:" /tmp/cnet_serve_report.$$; then
+  echo "ok: SIGINT serve prints the wind-down stats"
+else
+  echo "FAIL: SIGINT serve — report lacks serving/shut down lines" >&2
+  failures=$((failures + 1))
+fi
+rm -f /tmp/cnet_serve_report.$$
 
 # --- count/verify accept both forms ----------------------------------------
 check "count, positional form" "$CLI" count bitonic 8 2 1000

@@ -161,35 +161,64 @@ std::uint64_t NetworkService::count_delayed(std::uint32_t input, std::uint64_t w
 NetworkService::TimedCount NetworkService::count_until(std::uint32_t input,
                                                        std::uint64_t wait_ns,
                                                        std::uint64_t timeout_ns) {
-  CNET_CHECK(input < net_.input_width());
-  std::uint64_t parked = 0;
-  if (try_pop_parked(&parked)) return {true, parked};
-#if CNET_OBS
-  const std::uint64_t t_start = metrics_ != nullptr ? obs::now_ns() : 0;
-#endif
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout_ns);
-  ResponseCell* cell = ResponseCellCache::acquire();
+  return count_collect_until(count_begin(input, wait_ns), deadline);
+}
+
+NetworkService::Pending NetworkService::count_begin(std::uint32_t input,
+                                                    std::uint64_t wait_ns) {
+  CNET_CHECK(input < net_.input_width());
+  Pending pending;
+  pending.input = input;
+  if (try_pop_parked(&pending.value)) return pending;  // cell stays null
+#if CNET_OBS
+  pending.start_ns = metrics_ != nullptr ? obs::now_ns() : 0;
+#endif
+  pending.cell = ResponseCellCache::acquire();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   // send_queued, not send: the lock-free engine's inline fast path would
-  // donate THIS thread to run the token's entire walk (stalls included)
-  // before the wait below ever starts, so the deadline could never fire.
-  // A deadline-bounded token is hosted by the workers from hop one.
-  runtime_.send_queued(node_actors_[net_.inputs()[input].node], Message{wait_ns, cell});
+  // donate THIS thread to run the token's entire walk (stalls included),
+  // which would serialize a burst of begins and make a deadline-bounded
+  // collect unenforceable (a thread cannot time out work it is itself
+  // executing). An asynchronously issued token is hosted by the workers
+  // from hop one.
+  runtime_.send_queued(node_actors_[net_.inputs()[input].node], Message{wait_ns, pending.cell});
+  return pending;
+}
+
+std::uint64_t NetworkService::count_collect(const Pending& pending) {
+  if (pending.cell == nullptr) return pending.value;
+  const std::uint64_t value = runtime_.engine() == Engine::kLockFree
+                                  ? pending.cell->await_futex()
+                                  : pending.cell->await_locked();
+  ResponseCellCache::release(pending.cell);
+#if CNET_OBS
+  if (metrics_ != nullptr && pending.start_ns != 0) {
+    metrics_->tokens.add(pending.input);
+    metrics_->count_latency_ns.record(pending.input, obs::now_ns() - pending.start_ns);
+  }
+#endif
+  return value;
+}
+
+NetworkService::TimedCount NetworkService::count_collect_until(
+    const Pending& pending, std::chrono::steady_clock::time_point deadline) {
+  if (pending.cell == nullptr) return {true, pending.value};
   const ResponseCell::TimedWait wait = runtime_.engine() == Engine::kLockFree
-                                           ? cell->await_futex_until(deadline)
-                                           : cell->await_locked_until(deadline);
+                                           ? pending.cell->await_futex_until(deadline)
+                                           : pending.cell->await_locked_until(deadline);
   if (!wait.ok) {
     // Abandoned: the cell now belongs to the late completer (it parks the
     // value and donates the cell to the arena) — no release here.
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     return {};
   }
-  ResponseCellCache::release(cell);
+  ResponseCellCache::release(pending.cell);
 #if CNET_OBS
-  if (metrics_ != nullptr) {
-    metrics_->tokens.add(input);
-    metrics_->count_latency_ns.record(input, obs::now_ns() - t_start);
+  if (metrics_ != nullptr && pending.start_ns != 0) {
+    metrics_->tokens.add(pending.input);
+    metrics_->count_latency_ns.record(pending.input, obs::now_ns() - pending.start_ns);
   }
 #endif
   return {true, wait.value};

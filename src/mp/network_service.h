@@ -47,6 +47,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <utility>
@@ -64,6 +65,8 @@ class Injector;  // fault/injector.h
 }
 
 namespace cnet::mp {
+
+class ResponseCell;  // mp/response_cell.h
 
 /// Message-passing execution of one topo::Network: balancer node i is actor
 /// i, output counter p is actor node_count + p (the actor-index convention
@@ -132,6 +135,36 @@ class NetworkService {
   /// token's eventual value is parked for recycling — see the file comment
   /// for the exact cancellation/recycling semantics.
   TimedCount count_until(std::uint32_t input, std::uint64_t wait_ns, std::uint64_t timeout_ns);
+
+  /// Handle to one asynchronously issued counting operation (see
+  /// count_begin). POD; pass it back to exactly one collect call.
+  struct Pending {
+    ResponseCell* cell = nullptr;  ///< null: `value` was satisfied from the
+                                   ///< parked-ticket buffer, nothing in flight
+    std::uint64_t value = 0;       ///< valid iff cell == nullptr
+    std::uint32_t input = 0;       ///< entry port (metrics attribution)
+    std::uint64_t start_ns = 0;    ///< issue timestamp (metrics; 0 = untimed)
+  };
+
+  /// Boundary-batching entry point: issues the token and returns without
+  /// waiting, so a caller multiplexing many clients (the svc front-end) can
+  /// put k tokens in flight with one burst of mailbox sends and only then
+  /// start collecting. The send always goes through the run queues
+  /// (send_queued) — an inline send would execute the whole walk on the
+  /// issuing thread, serializing the burst and making a later deadline-bound
+  /// collect unenforceable. Every Pending must be resolved by exactly one
+  /// count_collect / count_collect_until before the service is destroyed.
+  Pending count_begin(std::uint32_t input, std::uint64_t wait_ns);
+
+  /// Blocks until the pending operation's value arrives and returns it.
+  std::uint64_t count_collect(const Pending& pending);
+
+  /// Deadline-bounded collect: gives up at `deadline` with the same
+  /// cancellation/parking semantics as count_until (the slot-CAS race in
+  /// mp/response_cell.h decides value-vs-cancel; an abandoned token's value
+  /// is parked for recycling).
+  TimedCount count_collect_until(const Pending& pending,
+                                 std::chrono::steady_clock::time_point deadline);
 
   /// Waits (up to `deadline_ns`) for every in-flight token to reach its
   /// output counter. Quiescent means every issued value has been delivered

@@ -160,6 +160,23 @@ CountingBackend::TimedCount CountingBackend::count_until(std::uint32_t thread_id
   return {true, count_delayed(thread_id, wait_ns)};
 }
 
+CountingBackend::PendingCount CountingBackend::count_begin(std::uint32_t, std::uint64_t) {
+  CNET_CHECK_MSG(false, "count_begin() on a backend without async issue — "
+                        "check supports_async_count() first");
+  return {};
+}
+
+std::uint64_t CountingBackend::count_collect(const PendingCount&) {
+  CNET_CHECK_MSG(false, "count_collect() on a backend without async issue");
+  return 0;
+}
+
+CountingBackend::TimedCount CountingBackend::count_collect_until(
+    const PendingCount&, std::chrono::steady_clock::time_point) {
+  CNET_CHECK_MSG(false, "count_collect_until() on a backend without async issue");
+  return {};
+}
+
 CountingBackend::DrainResult CountingBackend::drain(std::uint64_t) {
   // Operations complete on the caller's thread: joined issuers == quiescent.
   return {};
@@ -240,6 +257,27 @@ CountingBackend::TimedCount MpBackend::count_until(std::uint32_t thread_id,
                                                    std::uint64_t timeout_ns) {
   const mp::NetworkService::TimedCount result =
       service_.count_until(thread_id % network().input_width(), wait_ns, timeout_ns);
+  return {result.ok, result.value};
+}
+
+CountingBackend::PendingCount MpBackend::count_begin(std::uint32_t thread_id,
+                                                     std::uint64_t wait_ns) {
+  const mp::NetworkService::Pending p =
+      service_.count_begin(thread_id % network().input_width(), wait_ns);
+  return {p.cell, p.value, p.input, p.start_ns};
+}
+
+std::uint64_t MpBackend::count_collect(const PendingCount& pending) {
+  return service_.count_collect({static_cast<mp::ResponseCell*>(pending.handle),
+                                 pending.value, pending.input, pending.start_ns});
+}
+
+CountingBackend::TimedCount MpBackend::count_collect_until(
+    const PendingCount& pending, std::chrono::steady_clock::time_point deadline) {
+  const mp::NetworkService::TimedCount result = service_.count_collect_until(
+      {static_cast<mp::ResponseCell*>(pending.handle), pending.value, pending.input,
+       pending.start_ns},
+      deadline);
   return {result.ok, result.value};
 }
 

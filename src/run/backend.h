@@ -12,6 +12,7 @@
 // measured run keeps histories checkable by lin::values_form_range.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -85,6 +86,34 @@ class CountingBackend {
   /// rather than pretending an abandonment happened.
   virtual TimedCount count_until(std::uint32_t thread_id, std::uint64_t wait_ns,
                                  std::uint64_t timeout_ns);
+
+  // -- asynchronous issue (boundary batching) ---------------------------
+  /// Handle to one asynchronously issued operation (count_begin). POD;
+  /// resolve with exactly one count_collect / count_collect_until.
+  struct PendingCount {
+    void* handle = nullptr;   ///< backend-private; null = `value` is ready
+    std::uint64_t value = 0;  ///< valid iff handle == nullptr
+    std::uint32_t input = 0;  ///< backend-private bookkeeping
+    std::uint64_t start_ns = 0;
+  };
+
+  /// True when the backend can put many operations in flight from one
+  /// caller thread (mp: a token is hosted by the service's workers). The
+  /// svc front-end uses this to turn k pending requests into one burst of
+  /// issues instead of k blocking round trips; backends whose operations
+  /// execute on the caller's own thread (rt) say false and are batched
+  /// through count_batch instead.
+  virtual bool supports_async_count() const { return false; }
+  /// Issues one operation without waiting (CHECK-fails unless
+  /// supports_async_count()).
+  virtual PendingCount count_begin(std::uint32_t thread_id, std::uint64_t wait_ns);
+  /// Blocks for the pending operation's value.
+  virtual std::uint64_t count_collect(const PendingCount& pending);
+  /// Deadline-bounded collect against an absolute steady_clock deadline;
+  /// on mp a timeout abandons the operation on the real slot-CAS
+  /// cancellation path (the value is parked for recycling).
+  virtual TimedCount count_collect_until(const PendingCount& pending,
+                                         std::chrono::steady_clock::time_point deadline);
 
   /// What a post-run quiescence drain recovered.
   struct DrainResult {
@@ -170,6 +199,11 @@ class MpBackend final : public CountingBackend {
   std::uint64_t count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) override;
   TimedCount count_until(std::uint32_t thread_id, std::uint64_t wait_ns,
                          std::uint64_t timeout_ns) override;
+  bool supports_async_count() const override { return true; }
+  PendingCount count_begin(std::uint32_t thread_id, std::uint64_t wait_ns) override;
+  std::uint64_t count_collect(const PendingCount& pending) override;
+  TimedCount count_collect_until(const PendingCount& pending,
+                                 std::chrono::steady_clock::time_point deadline) override;
   DrainResult drain(std::uint64_t deadline_ns) override;
 
   void register_metrics(obs::MetricsRegistry& registry) const override;

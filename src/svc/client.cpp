@@ -1,0 +1,162 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cnet::svc {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& host, std::uint16_t port, std::string* error) {
+  close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket(): " + std::string(std::strerror(errno)));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "bad address '" + host + "'");
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    set_error(error, "connect(" + host + "): " + std::strerror(errno));
+    close();
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);  // best effort
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  out_.clear();
+  in_.clear();
+  in_off_ = 0;
+}
+
+void Client::queue_count(std::uint64_t request_id) {
+  encode_request({Op::kCount, request_id, 0}, &out_);
+}
+
+void Client::queue_count_until(std::uint64_t request_id, std::uint64_t budget_ns) {
+  encode_request({Op::kCountUntil, request_id, budget_ns}, &out_);
+}
+
+bool Client::flush(std::string* error) {
+  std::size_t off = 0;
+  while (off < out_.size()) {
+    const ssize_t n = write(fd_, out_.data() + off, out_.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_error(error, "write(): " + std::string(std::strerror(errno)));
+    close();
+    return false;
+  }
+  out_.clear();
+  return true;
+}
+
+bool Client::recv_response(Response* out, std::string* error) {
+  for (;;) {
+    std::size_t consumed = 0;
+    WireError wire_error = WireError::kNone;
+    const DecodeResult result = try_decode_response(in_.data() + in_off_, in_.size() - in_off_,
+                                                    out, &consumed, &wire_error);
+    if (result == DecodeResult::kFrame) {
+      in_off_ += consumed;
+      if (in_off_ == in_.size()) {
+        in_.clear();
+        in_off_ = 0;
+      }
+      return true;
+    }
+    if (result == DecodeResult::kMalformed) {
+      set_error(error, "malformed response: " + std::string(wire_error_name(wire_error)));
+      close();
+      return false;
+    }
+    std::uint8_t chunk[16 * 1024];
+    const ssize_t n = read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_error(error, n == 0 ? "connection closed by server"
+                            : "read(): " + std::string(std::strerror(errno)));
+    close();
+    return false;
+  }
+}
+
+bool Client::poll_response(Response* out, bool* got, std::string* error) {
+  *got = false;
+  for (;;) {
+    std::size_t consumed = 0;
+    WireError wire_error = WireError::kNone;
+    const DecodeResult result = try_decode_response(in_.data() + in_off_, in_.size() - in_off_,
+                                                    out, &consumed, &wire_error);
+    if (result == DecodeResult::kFrame) {
+      in_off_ += consumed;
+      if (in_off_ == in_.size()) {
+        in_.clear();
+        in_off_ = 0;
+      }
+      *got = true;
+      return true;
+    }
+    if (result == DecodeResult::kMalformed) {
+      set_error(error, "malformed response: " + std::string(wire_error_name(wire_error)));
+      close();
+      return false;
+    }
+    std::uint8_t chunk[16 * 1024];
+    const ssize_t n = recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;  // nothing yet
+    if (n < 0 && errno == EINTR) continue;
+    set_error(error, n == 0 ? "connection closed by server"
+                            : "recv(): " + std::string(std::strerror(errno)));
+    close();
+    return false;
+  }
+}
+
+bool Client::count(std::uint64_t request_id, Response* out, std::string* error) {
+  queue_count(request_id);
+  return flush(error) && recv_response(out, error);
+}
+
+bool Client::count_until(std::uint64_t request_id, std::uint64_t budget_ns, Response* out,
+                         std::string* error) {
+  queue_count_until(request_id, budget_ns);
+  return flush(error) && recv_response(out, error);
+}
+
+}  // namespace cnet::svc

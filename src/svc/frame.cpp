@@ -1,0 +1,155 @@
+#include "svc/frame.h"
+
+#include <cstring>
+
+namespace cnet::svc {
+namespace {
+
+// Explicit little-endian serialization: the protocol is defined by these
+// byte layouts, not by host memory order (memcpy of integers would silently
+// flip the wire format on a big-endian host).
+void put_u16(std::uint16_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint32_t v, std::uint8_t* p) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint64_t v, std::uint8_t* p) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Shared framing walk: validates body_len, waits for a complete frame,
+/// and hands the 20-byte v1 body to the caller. Returns kFrame with *body
+/// pointing into the window.
+DecodeResult frame_body(const std::uint8_t* data, std::size_t size, const std::uint8_t** body,
+                        std::size_t* consumed, WireError* error) {
+  if (size < 4) return DecodeResult::kNeedMore;
+  const std::uint32_t body_len = get_u32(data);
+  if (body_len > kMaxBodyLen || body_len < kFrameBodyLen) {
+    *error = WireError::kOversizedFrame;
+    *consumed = size;
+    return DecodeResult::kMalformed;
+  }
+  if (size < 4 + static_cast<std::size_t>(body_len)) return DecodeResult::kNeedMore;
+  if (data[4] != kProtocolVersion) {
+    *error = WireError::kBadVersion;
+    *consumed = size;
+    return DecodeResult::kMalformed;
+  }
+  *body = data + 4;
+  // A well-formed longer body (a future minor version) would be skipped
+  // here; v1 emits exactly kFrameBodyLen.
+  *consumed = 4 + body_len;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "none";
+    case WireError::kOversizedFrame: return "oversized-frame";
+    case WireError::kBadVersion: return "bad-version";
+    case WireError::kBadOp: return "bad-op";
+    case WireError::kBadFlags: return "bad-flags";
+    case WireError::kBadDeadline: return "bad-deadline";
+    case WireError::kBacklogShed: return "backlog-shed";
+    case WireError::kTimingShed: return "timing-shed";
+    case WireError::kOverloadedConn: return "overloaded-connection";
+  }
+  return "unknown";
+}
+
+void encode_request(const Request& request, std::vector<std::uint8_t>* out) {
+  const std::size_t at = out->size();
+  out->resize(at + kFrameWireSize);
+  std::uint8_t* p = out->data() + at;
+  put_u32(kFrameBodyLen, p);
+  p[4] = kProtocolVersion;
+  p[5] = static_cast<std::uint8_t>(request.op);
+  put_u16(0, p + 6);  // flags, reserved in v1
+  put_u64(request.request_id, p + 8);
+  put_u64(request.deadline_ns, p + 16);
+}
+
+void encode_response(const Response& response, std::vector<std::uint8_t>* out) {
+  const std::size_t at = out->size();
+  out->resize(at + kFrameWireSize);
+  std::uint8_t* p = out->data() + at;
+  put_u32(kFrameBodyLen, p);
+  p[4] = kProtocolVersion;
+  p[5] = static_cast<std::uint8_t>(response.status);
+  put_u16(static_cast<std::uint16_t>(response.error), p + 6);
+  put_u64(response.request_id, p + 8);
+  put_u64(response.value, p + 16);
+}
+
+DecodeResult try_decode_request(const std::uint8_t* data, std::size_t size, Request* out,
+                                std::size_t* consumed, WireError* error) {
+  const std::uint8_t* body = nullptr;
+  const DecodeResult framed = frame_body(data, size, &body, consumed, error);
+  if (framed != DecodeResult::kFrame) return framed;
+  const std::uint8_t op = body[1];
+  if (op != static_cast<std::uint8_t>(Op::kCount) &&
+      op != static_cast<std::uint8_t>(Op::kCountUntil)) {
+    *error = WireError::kBadOp;
+    return DecodeResult::kMalformed;
+  }
+  if (get_u16(body + 2) != 0) {
+    *error = WireError::kBadFlags;
+    return DecodeResult::kMalformed;
+  }
+  out->op = static_cast<Op>(op);
+  out->request_id = get_u64(body + 4);
+  out->deadline_ns = get_u64(body + 12);
+  // A zero budget IS a deadline in the past: by the time the frame is
+  // parsed the budget is spent, so honest handling is rejection, not a
+  // fabricated timeout. Symmetrically a plain count must not smuggle one.
+  if (out->op == Op::kCountUntil && out->deadline_ns == 0) {
+    *error = WireError::kBadDeadline;
+    return DecodeResult::kMalformed;
+  }
+  if (out->op == Op::kCount && out->deadline_ns != 0) {
+    *error = WireError::kBadDeadline;
+    return DecodeResult::kMalformed;
+  }
+  return DecodeResult::kFrame;
+}
+
+DecodeResult try_decode_response(const std::uint8_t* data, std::size_t size, Response* out,
+                                 std::size_t* consumed, WireError* error) {
+  const std::uint8_t* body = nullptr;
+  const DecodeResult framed = frame_body(data, size, &body, consumed, error);
+  if (framed != DecodeResult::kFrame) return framed;
+  const std::uint8_t status = body[1];
+  if (status > static_cast<std::uint8_t>(Status::kError)) {
+    *error = WireError::kBadOp;
+    return DecodeResult::kMalformed;
+  }
+  out->status = static_cast<Status>(status);
+  out->error = static_cast<WireError>(get_u16(body + 2));
+  out->request_id = get_u64(body + 4);
+  out->value = get_u64(body + 12);
+  return DecodeResult::kFrame;
+}
+
+}  // namespace cnet::svc

@@ -1,0 +1,520 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cnet::svc {
+
+using Clock = std::chrono::steady_clock;
+
+/// One accepted connection. Owned by the loop; referenced (borrowed) by the
+/// wake's pending requests, so a dying connection is quarantined in a
+/// graveyard until the wake that killed it finishes.
+struct Server::Conn {
+  int fd = -1;
+  std::uint32_t id = 0;  ///< dense-ish id; maps to a backend entry input
+
+  std::vector<std::uint8_t> in;  ///< received, not yet parsed
+  std::size_t in_off = 0;        ///< parse cursor into `in`
+
+  std::vector<std::uint8_t> out;  ///< encoded, not yet written
+  std::size_t out_off = 0;
+
+  bool want_write = false;        ///< EPOLLOUT armed
+  bool close_after_flush = false; ///< drop once `out` drains (error path)
+  bool dead = false;              ///< closed this wake; in the graveyard
+
+  /// A malformed frame poisons the stream, but requests decoded before it
+  /// are still served: the error frame is held here and appended *after*
+  /// this wake's responses, as the connection's final frame.
+  bool error_pending = false;
+  Response error_response{};
+
+  std::size_t unwritten() const { return out.size() - out_off; }
+};
+
+/// One decoded, admitted request awaiting this wake's batch issue.
+struct Server::PendingRequest {
+  Conn* conn = nullptr;
+  Request request;
+  Clock::time_point deadline;  ///< receipt + budget (kCountUntil only)
+};
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);  // best effort
+}
+
+}  // namespace
+
+/// The event loop proper: owns the connections and every backend issue.
+/// Lives on the loop thread only.
+class Server::Loop {
+ public:
+  explicit Loop(Server& server) : s_(server) {}
+
+  ~Loop() {
+    for (auto& [fd, conn] : conns_) ::close(fd);
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool init() {
+    epfd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0) return false;
+    return add_fd(s_.listen_fd_, kListenerTag) && add_fd(s_.wake_fd_, kWakeTag);
+  }
+
+  void run() {
+    epoll_event events[64];
+    while (!s_.stopping_.load(std::memory_order_acquire)) {
+      const int n = epoll_wait(epfd_, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll itself failed; nothing sane left to do
+      }
+      if (s_.stopping_.load(std::memory_order_acquire)) break;
+      check_timing();
+      for (int i = 0; i < n; ++i) {
+        const epoll_event& ev = events[i];
+        if (ev.data.u64 == kListenerTag) {
+          accept_all();
+        } else if (ev.data.u64 == kWakeTag) {
+          std::uint64_t drained = 0;
+          while (read(s_.wake_fd_, &drained, sizeof drained) > 0) {
+          }
+        } else {
+          auto* conn = reinterpret_cast<Conn*>(ev.data.u64);
+          if (conn->dead) continue;
+          if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+            kill_conn(conn);
+            continue;
+          }
+          if ((ev.events & EPOLLIN) != 0) on_readable(conn);
+          if ((ev.events & EPOLLOUT) != 0 && !conn->dead) flush(conn);
+        }
+      }
+      if (!pending_.empty()) serve_pending();
+      // Poisoned streams get their final kError frame only after the wake's
+      // real responses, so well-formed requests that preceded the bad frame
+      // are still answered. Iterators advance before any call that can
+      // kill_conn — killing erases the connection's map entry.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn* conn = (it++)->second.get();
+        if (!conn->dead && conn->error_pending) {
+          enqueue_response(conn, conn->error_response);
+          conn->error_pending = false;
+          conn->close_after_flush = true;
+        }
+      }
+      // Opportunistic flush: most responses go out right here, without a
+      // second epoll round trip.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn* conn = (it++)->second.get();
+        if (!conn->dead && conn->unwritten() != 0) flush(conn);
+      }
+      bury();
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kListenerTag = 0;
+  static constexpr std::uint64_t kWakeTag = 1;
+
+  bool add_fd(int fd, std::uint64_t tag) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = tag;
+    return epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int fd = accept4(s_.listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN, or a transient accept error — try next wake
+      set_nodelay(fd);
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->id = next_conn_id_++;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = reinterpret_cast<std::uint64_t>(conn.get());
+      if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        return;
+      }
+      s_.accepted_.fetch_add(1, std::memory_order_relaxed);
+      conns_.emplace(fd, std::move(conn));
+    }
+  }
+
+  void on_readable(Conn* conn) {
+    std::uint8_t chunk[16 * 1024];
+    for (;;) {
+      const ssize_t n = read(conn->fd, chunk, sizeof chunk);
+      if (n > 0) {
+        conn->in.insert(conn->in.end(), chunk, chunk + n);
+        if (static_cast<std::size_t>(n) < sizeof chunk) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      kill_conn(conn);  // EOF or a hard error
+      return;
+    }
+    parse(conn);
+  }
+
+  /// Decodes every complete frame in the connection buffer, admitting each
+  /// into this wake's pending set (or shedding it on the spot). One
+  /// malformed frame poisons the stream: the server answers with a final
+  /// kError frame naming the violation and drops the connection.
+  void parse(Conn* conn) {
+    const Clock::time_point now = Clock::now();
+    while (!conn->dead && !conn->close_after_flush && !conn->error_pending) {
+      Request request;
+      std::size_t consumed = 0;
+      WireError wire_error = WireError::kNone;
+      const DecodeResult result =
+          try_decode_request(conn->in.data() + conn->in_off, conn->in.size() - conn->in_off,
+                             &request, &consumed, &wire_error);
+      if (result == DecodeResult::kNeedMore) break;
+      if (result == DecodeResult::kMalformed) {
+        s_.protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn->error_pending = true;
+        conn->error_response = {Status::kError, wire_error, request.request_id, 0};
+        conn->in.clear();
+        conn->in_off = 0;
+        return;
+      }
+      conn->in_off += consumed;
+      s_.requests_.fetch_add(1, std::memory_order_relaxed);
+      if (s_.timing_tripped_.load(std::memory_order_relaxed)) {
+        enqueue_response(conn,
+                         {Status::kShed, WireError::kTimingShed, request.request_id, 0});
+      } else if (pending_.size() >= s_.options_.max_pending) {
+        enqueue_response(conn,
+                         {Status::kShed, WireError::kBacklogShed, request.request_id, 0});
+      } else {
+        pending_.push_back(
+            {conn, request, now + std::chrono::nanoseconds(request.deadline_ns)});
+      }
+    }
+    if (conn->in_off == conn->in.size()) {
+      conn->in.clear();
+      conn->in_off = 0;
+    } else if (conn->in_off > 64 * 1024) {
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() + static_cast<std::ptrdiff_t>(conn->in_off));
+      conn->in_off = 0;
+    }
+  }
+
+  /// The boundary-batching core (see server.h): everything this wake
+  /// coalesced is issued against the backend in bulk.
+  void serve_pending() {
+    s_.wakes_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.size() > s_.largest_batch_.load(std::memory_order_relaxed)) {
+      s_.largest_batch_.store(pending_.size(), std::memory_order_relaxed);
+    }
+    if (!s_.options_.batching) {
+      // The ablation baseline is the textbook request-response loop: serve
+      // in arrival order and write each response as it completes — no bulk
+      // issue, no coalesced flush. Boundary batching's win is measured
+      // against exactly this (BENCH_svc).
+      for (const PendingRequest& p : pending_) {
+        serve_one(p);
+        if (!p.conn->dead) flush(p.conn);
+      }
+    } else if (s_.backend_.supports_async_count()) {
+      serve_batched_async();
+    } else {
+      serve_batched_sync();
+    }
+    pending_.clear();
+  }
+
+  /// mp: one pooled burst of mailbox sends per chunk — every token is in
+  /// flight before the first collect blocks, so the chunk costs one
+  /// traversal of wall-clock, not k.
+  void serve_batched_async() {
+    const std::uint32_t cap = s_.options_.max_batch;
+    std::vector<run::CountingBackend::PendingCount> handles;
+    for (std::size_t base = 0; base < pending_.size(); base += cap) {
+      const std::size_t n = std::min<std::size_t>(cap, pending_.size() - base);
+      handles.clear();
+      handles.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        handles.push_back(s_.backend_.count_begin(pending_[base + i].conn->id, 0));
+      }
+      s_.batches_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < n; ++i) {
+        const PendingRequest& p = pending_[base + i];
+        if (p.request.op == Op::kCount) {
+          respond_ok(p, s_.backend_.count_collect(handles[i]));
+        } else {
+          // The real cancellation path: a deadline that fires here runs the
+          // slot-CAS cancel and parks the token's value for recycling.
+          const run::CountingBackend::TimedCount timed =
+              s_.backend_.count_collect_until(handles[i], p.deadline);
+          if (timed.ok) {
+            respond_ok(p, timed.value);
+          } else {
+            respond_timeout(p);
+          }
+        }
+      }
+    }
+  }
+
+  /// rt: plain requests ride one next_batch(k) per chunk (one entry lookup
+  /// and one output fetch_add per distinct exit port for the whole chunk);
+  /// deadline requests issue individually so each can be refused when its
+  /// budget is spent — rt cannot abandon a traversal the serving thread
+  /// itself executes.
+  void serve_batched_sync() {
+    const std::uint32_t max_threads = std::max(1u, s_.backend_.spec().max_threads);
+    std::vector<const PendingRequest*> plain;
+    plain.reserve(pending_.size());
+    for (const PendingRequest& p : pending_) {
+      if (p.request.op == Op::kCount) {
+        plain.push_back(&p);
+      } else {
+        serve_one(p);
+      }
+    }
+    const std::uint32_t cap = s_.options_.max_batch;
+    std::vector<std::uint64_t> values;
+    for (std::size_t base = 0; base < plain.size(); base += cap) {
+      const std::size_t n = std::min<std::size_t>(cap, plain.size() - base);
+      values.resize(n);
+      // The rotor spreads successive chunks over the network's entry
+      // inputs (count_batch enters at thread_id mod input_width).
+      const auto thread_id = static_cast<std::uint32_t>(batch_rotor_++ % max_threads);
+      s_.backend_.count_batch(thread_id, values);
+      s_.batches_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < n; ++i) respond_ok(*plain[base + i], values[i]);
+    }
+  }
+
+  /// The unbatched path (ablation baseline) and the batched path's
+  /// per-request cases: one independent backend operation per request.
+  void serve_one(const PendingRequest& p) {
+    const std::uint32_t max_threads = std::max(1u, s_.backend_.spec().max_threads);
+    const std::uint32_t thread_id = p.conn->id % max_threads;
+    if (p.request.op == Op::kCount) {
+      respond_ok(p, s_.backend_.count(thread_id));
+      if (!s_.options_.batching) s_.batches_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const Clock::time_point now = Clock::now();
+    if (!s_.backend_.supports_async_count() && now >= p.deadline) {
+      // The budget died in the queue and this backend cannot interrupt a
+      // running traversal; honest deadline propagation is a refusal to
+      // start, not a value delivered late.
+      respond_timeout(p);
+      return;
+    }
+    const auto remaining = p.deadline > now
+                               ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     p.deadline - now)
+                                     .count()
+                               : 0;
+    const run::CountingBackend::TimedCount timed =
+        s_.backend_.count_until(thread_id, 0, static_cast<std::uint64_t>(remaining));
+    if (timed.ok) {
+      respond_ok(p, timed.value);
+    } else {
+      respond_timeout(p);
+    }
+  }
+
+  void respond_ok(const PendingRequest& p, std::uint64_t value) {
+    enqueue_response(p.conn, {Status::kOk, WireError::kNone, p.request.request_id, value});
+  }
+
+  void respond_timeout(const PendingRequest& p) {
+    enqueue_response(p.conn,
+                     {Status::kTimeout, WireError::kNone, p.request.request_id, 0});
+  }
+
+  void enqueue_response(Conn* conn, const Response& response) {
+    if (conn->dead) return;
+    switch (response.status) {
+      case Status::kOk: s_.ok_.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kTimeout: s_.timeout_.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kShed: s_.shed_.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kError: break;  // counted at the parse site
+    }
+    if (conn->unwritten() > s_.options_.max_write_buffer) {
+      // The peer is not reading: shedding more frames into the buffer would
+      // BE the unbounded queue admission control exists to prevent.
+      kill_conn(conn);
+      return;
+    }
+    encode_response(response, &conn->out);
+  }
+
+  void flush(Conn* conn) {
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t n =
+          write(conn->fd, conn->out.data() + conn->out_off, conn->out.size() - conn->out_off);
+      if (n > 0) {
+        conn->out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        arm_write(conn, true);
+        return;
+      }
+      kill_conn(conn);
+      return;
+    }
+    conn->out.clear();
+    conn->out_off = 0;
+    arm_write(conn, false);
+    if (conn->close_after_flush) kill_conn(conn);
+  }
+
+  void arm_write(Conn* conn, bool want) {
+    if (conn->want_write == want) return;
+    conn->want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = reinterpret_cast<std::uint64_t>(conn);
+    epoll_ctl(epfd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  /// Closes the socket now but keeps the Conn object alive until the end
+  /// of the wake — pending requests and the event array still point at it.
+  void kill_conn(Conn* conn) {
+    if (conn->dead) return;
+    conn->dead = true;
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    s_.closed_.fetch_add(1, std::memory_order_relaxed);
+    const auto it = conns_.find(conn->fd);
+    CNET_CHECK(it != conns_.end());
+    graveyard_.push_back(std::move(it->second));
+    conns_.erase(it);
+  }
+
+  void bury() { graveyard_.clear(); }
+
+  /// One admission check per wake: the backend's own DegradeGuard trip is
+  /// always honoured; the server-side threshold (when configured) latches
+  /// on the same online estimate the guard watches.
+  void check_timing() {
+    if (s_.timing_tripped_.load(std::memory_order_relaxed)) return;
+    bool trip = s_.backend_.degrade_status().tripped;
+    if (!trip && s_.options_.c2c1_shed_threshold > 0.0) {
+      trip = s_.backend_.c2c1_estimate() > s_.options_.c2c1_shed_threshold;
+    }
+    if (trip) s_.timing_tripped_.store(true, std::memory_order_release);
+  }
+
+  Server& s_;
+  int epfd_ = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Conn>> graveyard_;
+  std::vector<PendingRequest> pending_;
+  std::uint32_t next_conn_id_ = 0;
+  std::uint64_t batch_rotor_ = 0;
+};
+
+Server::Server(run::CountingBackend& backend, ServerOptions options)
+    : backend_(backend), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = wake_fd_ = -1;
+    return false;
+  };
+  if (!backend_.live()) {
+    return fail("svc::Server serves live backends only (rt, mp); '" +
+                backend_.spec().to_string() + "' executes in virtual time");
+  }
+  CNET_CHECK_MSG(!loop_thread_.joinable(), "Server::start called twice");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket(): " + std::string(std::strerror(errno)));
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return fail("bad listen address '" + options_.host + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail("bind(" + options_.host + "): " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 1024) != 0) {
+    return fail("listen(): " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname(): " + std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return fail("eventfd(): " + std::string(std::strerror(errno)));
+
+  stopping_.store(false, std::memory_order_release);
+  loop_thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void Server::run_loop() {
+  Loop loop(*this);
+  if (loop.init()) loop.run();
+}
+
+void Server::stop() {
+  if (!loop_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof one);
+  loop_thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = wake_fd_ = -1;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses_ok = ok_.load(std::memory_order_relaxed);
+  s.responses_timeout = timeout_.load(std::memory_order_relaxed);
+  s.responses_shed = shed_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.largest_batch = largest_batch_.load(std::memory_order_relaxed);
+  s.wakes = wakes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cnet::svc

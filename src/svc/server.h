@@ -1,0 +1,156 @@
+// cnet::svc::Server — the network front-end: a non-blocking epoll TCP
+// server that exposes any live run::CountingBackend (rt or mp, any
+// `<family>:<structure>:<width>?opts` spec) as the wire protocol of
+// svc/frame.h.
+//
+// The perf core is *boundary batching*: one event-loop wake drains every
+// readable connection, coalescing the decoded requests into a pending set,
+// and then issues them against the backend in bulk — one next_batch(k) per
+// chunk on rt, one pooled burst of k mailbox sends (count_begin x k, then
+// collect) on mp — instead of k independent traversals. This moves PR 1's
+// 1.77x batched-issue win (and mp's burst pipelining) across the
+// address-space boundary: the k requests of one wake share entry lookup,
+// output fetch_adds, and worker wakeups — and their responses share one
+// coalesced write() per connection — while each request still gets its own
+// counter value. `ServerOptions::batching = false` is the ablation BENCH_svc
+// measures: the textbook request-response loop, one backend issue and one
+// response write per request, in arrival order.
+//
+// Admission control / backpressure (all answered with Status::kShed, never
+// an unbounded queue):
+//   * backlog    — pending requests beyond max_pending are shed on arrival;
+//   * timing     — when the backend's online c2/c1 estimate crosses
+//                  c2c1_shed_threshold (Cor 3.9's bound is 2), or the rt
+//                  DegradeGuard reports tripped, the server latches into
+//                  timing shed: the linearizability claim behind the
+//                  service is void, so new work is refused rather than
+//                  served with a silently weaker guarantee (the latch
+//                  matches rt::DegradeGuard — timing that broke once voids
+//                  the run; restart the server to re-arm);
+//   * conn flood — a connection whose write buffer outgrows
+//                  max_write_buffer is dropped.
+//
+// Deadline propagation: a kCountUntil frame's budget starts at *receipt*
+// (decode time) and rides onto the backend's real cancellation path — on mp
+// the collect is deadline-bounded, so a timeout runs the slot-CAS
+// cancellation and parks the value for recycling (mp.deadline_timeouts
+// counts it); rt cannot interrupt a traversal that runs on the serving
+// thread, so a budget that is already spent when the request is issued is
+// answered kTimeout without executing, and a live one executes to
+// completion (docs/SERVICE.md spells out the per-family matrix).
+//
+// Threading: one event-loop thread owns every connection and issues all
+// backend operations (mp operations still execute on the service's own
+// workers — the loop only blocks on collects). start()/stop()/stats() are
+// callable from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "run/backend.h"
+#include "svc/frame.h"
+
+namespace cnet::svc {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default: the service is a benchmark /
+  /// deployment building block, not a hardened public endpoint.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound one via port()
+
+  bool batching = true;        ///< boundary batching (see file comment)
+  std::uint32_t max_batch = 64;  ///< issue chunk cap per backend call
+
+  /// Backlog admission cap: requests decoded while this many are already
+  /// pending in the current wake are shed (kBacklogShed).
+  std::uint32_t max_pending = 4096;
+
+  /// Timing admission: shed once the backend's online c2/c1 estimate
+  /// exceeds this (0 disables; Cor 3.9's bound is 2.0). The rt
+  /// DegradeGuard's own trip is honoured regardless.
+  double c2c1_shed_threshold = 0.0;
+
+  /// A connection buffering more than this many unwritten response bytes
+  /// is dropped (kOverloadedConn).
+  std::size_t max_write_buffer = 1u << 20;
+};
+
+class Server {
+ public:
+  /// Monotone counters, readable while the server runs (relaxed loads).
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t requests = 0;        ///< well-formed frames decoded
+    std::uint64_t responses_ok = 0;
+    std::uint64_t responses_timeout = 0;
+    std::uint64_t responses_shed = 0;
+    std::uint64_t protocol_errors = 0;  ///< malformed frames (conn dropped)
+    std::uint64_t batches = 0;          ///< backend issue calls (batched path)
+    std::uint64_t largest_batch = 0;    ///< max requests coalesced in one wake
+    std::uint64_t wakes = 0;            ///< epoll wakes that served requests
+  };
+
+  /// `backend` is borrowed and must outlive the server; it must be live()
+  /// (rt or mp) — start() rejects simulated families.
+  Server(run::CountingBackend& backend, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread. False (with a
+  /// diagnostic in *error) on a non-live backend or any socket failure.
+  bool start(std::string* error);
+
+  /// Wakes the loop, closes every connection, joins. Idempotent.
+  void stop();
+
+  /// The bound TCP port (the ephemeral one when options.port == 0). Valid
+  /// after a successful start().
+  std::uint16_t port() const { return port_; }
+
+  /// True once admission control has latched into timing shed.
+  bool timing_tripped() const { return timing_tripped_.load(std::memory_order_acquire); }
+
+  /// Operational/testing hook: latch timing shed now, exactly as a crossed
+  /// estimate would.
+  void trip_timing_shed() { timing_tripped_.store(true, std::memory_order_release); }
+
+  Stats stats() const;
+
+ private:
+  struct Conn;
+  struct PendingRequest;
+  class Loop;
+
+  run::CountingBackend& backend_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> timing_tripped_{false};
+  std::thread loop_thread_;
+
+  // Stats cells (relaxed; written by the loop thread only).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> timeout_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> largest_batch_{0};
+  std::atomic<std::uint64_t> wakes_{0};
+
+  void run_loop();
+};
+
+}  // namespace cnet::svc

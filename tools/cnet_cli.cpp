@@ -33,24 +33,32 @@
 //       prints the metrics snapshot (docs/OBSERVABILITY.md), the busiest
 //       balancers, and the online c2/c1 estimate; optionally dumps a
 //       chrome://tracing JSON of sampled token hops
+//   cnet_cli serve <spec> [--port N] [--host A] [--unbatched] [--max-batch N]
+//                  [--max-pending N] [--shed-threshold X]
+//       serve the backend over TCP (docs/SERVICE.md protocol) until SIGINT;
+//       winds down gracefully — stops accepting, drains, prints the serving
+//       stats — and exits 130, the same contract as an interrupted run
 //
 // Exit codes: 0 success, 1 a property check failed, 2 usage error (unknown
 // command, malformed spec or workload key), 130 run interrupted by SIGINT
 // (after a graceful drain and a partial report).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/backend_metrics.h"
 #include "psim/machine.h"
 #include "run/backend.h"
 #include "run/runner.h"
+#include "svc/server.h"
 #include "sim/exhaustive.h"
 #include "sim/scenarios.h"
 #include "theory/bounds.h"
@@ -80,6 +88,8 @@ int usage() {
       "                    [f=X] [wait=N] [seed=N]\n"
       "  cnet_cli count    <spec | kind width> <threads> <ops> [batch] [plan|walk]\n"
       "  cnet_cli stats    <spec | kind width> <threads> <ops> [batch] [trace.json]\n"
+      "  cnet_cli serve    <spec> [--port N] [--host A] [--unbatched] [--max-batch N]\n"
+      "                    [--max-pending N] [--shed-threshold X]\n"
       "spec grammar: <family>:<structure>:<width>[?opt[&opt]...]  (docs/HARNESS.md)\n"
       "  families: sim, psim, rt, mp   structures: bitonic, periodic, tree, balancer\n"
       "  e.g. rt:bitonic:32?engine=plan   psim:tree:64?mcs&procs=128\n");
@@ -305,6 +315,74 @@ int cmd_run(const run::BackendSpec& spec, const run::Workload& workload) {
   return report.counting_ok && report.step_ok ? 0 : 1;
 }
 
+int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
+  svc::ServerOptions options;
+  for (int i = base; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--host") {
+      options.host = value();
+    } else if (arg == "--unbatched") {
+      options.batching = false;
+    } else if (arg == "--max-batch") {
+      options.max_batch = std::max(1, std::atoi(value()));
+    } else if (arg == "--max-pending") {
+      options.max_pending = std::max(1, std::atoi(value()));
+    } else if (arg == "--shed-threshold") {
+      options.c2c1_shed_threshold = std::atof(value());
+    } else {
+      std::fprintf(stderr, "unknown serve option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::unique_ptr<run::CountingBackend> backend = run::make_backend(spec);
+  svc::Server server(*backend, options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  std::printf("serving %s on %s:%u (%s, max-batch %u, max-pending %u)\n",
+              spec.to_string().c_str(), options.host.c_str(), server.port(),
+              options.batching ? "batched" : "unbatched", options.max_batch,
+              options.max_pending);
+  std::fflush(stdout);
+
+  // The same SIGINT contract as `run`: the signal means "stop serving", not
+  // "tear the process down" — stop accepting, drain in-flight work, report,
+  // and exit 130.
+  g_interrupt.store(false, std::memory_order_relaxed);
+  auto* previous = std::signal(SIGINT, on_sigint);
+  while (!g_interrupt.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::signal(SIGINT, previous);
+  server.stop();
+
+  const svc::Server::Stats stats = server.stats();
+  std::printf("shut down: %llu conns, %llu requests (%llu ok, %llu timeout, %llu shed,"
+              " %llu protocol errors), %llu batches over %llu wakes (largest %llu)%s\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.responses_ok),
+              static_cast<unsigned long long>(stats.responses_timeout),
+              static_cast<unsigned long long>(stats.responses_shed),
+              static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.wakes),
+              static_cast<unsigned long long>(stats.largest_batch),
+              server.timing_tripped() ? "; timing shed LATCHED" : "");
+  return 130;
+}
+
 int cmd_stats(const run::BackendSpec& spec, const run::Workload& workload,
               const std::string& trace_path) {
 #if !CNET_OBS
@@ -420,6 +498,9 @@ int main(int argc, char** argv) {
                         std::atof(argv[4]), std::strtoull(argv[5], nullptr, 10),
                         argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 5000,
                         argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 1);
+  }
+  if (command == "serve") {
+    return cmd_serve(parse_spec_or_exit(kind), argc, argv, 3);
   }
   if (command == "run") {
     const run::BackendSpec spec = parse_spec_or_exit(kind);
