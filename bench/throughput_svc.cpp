@@ -12,6 +12,13 @@
 // amortizes. items/s counts individual counting operations; p99_us is the
 // per-connection p99 of the full window round trip (averaged across
 // connections).
+//
+// The batched/unbatched pairs pin loops=1 — the historical single-loop
+// configuration, so the series stays comparable across revisions — while
+// BM_SvcRtLoops/{1,2,4,8} is the event-loop scaling series: the same 8
+// pipelined connections spread by SO_REUSEPORT flow hash across N loops
+// (docs/EXPERIMENTS.md interprets the shape; the knee sits at the
+// machine's core count, so a 1-core runner shows a flat series).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -34,10 +41,11 @@ constexpr std::uint32_t kWindow = 8;  ///< pipelined requests per iteration
 std::unique_ptr<run::CountingBackend> g_backend;
 std::unique_ptr<svc::Server> g_server;
 
-void setup_server(const std::string& spec_text, bool batching) {
+void setup_server(const std::string& spec_text, bool batching, std::uint32_t loops) {
   g_backend = run::make_backend(run::parse_spec_or_die(spec_text));
   svc::ServerOptions options;
   options.batching = batching;
+  options.loops = loops;
   g_server = std::make_unique<svc::Server>(*g_backend, options);
   std::string error;
   if (!g_server->start(&error)) {
@@ -51,10 +59,22 @@ void teardown_server(const benchmark::State&) {
   g_backend.reset();
 }
 
-void setup_rt_batched(const benchmark::State&) { setup_server("rt:bitonic:8", true); }
-void setup_rt_unbatched(const benchmark::State&) { setup_server("rt:bitonic:8", false); }
-void setup_mp_batched(const benchmark::State&) { setup_server("mp:tree:8?actors=2", true); }
-void setup_mp_unbatched(const benchmark::State&) { setup_server("mp:tree:8?actors=2", false); }
+void setup_rt_batched(const benchmark::State&) { setup_server("rt:bitonic:8", true, 1); }
+void setup_rt_unbatched(const benchmark::State&) { setup_server("rt:bitonic:8", false, 1); }
+void setup_mp_batched(const benchmark::State&) {
+  setup_server("mp:tree:8?actors=2", true, 1);
+}
+void setup_mp_unbatched(const benchmark::State&) {
+  setup_server("mp:tree:8?actors=2", false, 1);
+}
+
+/// The loops-scaling setup: state.range(0) event loops over an rt backend
+/// whose thread-id space (threads=64) slices evenly for every point in the
+/// series.
+void setup_rt_loops(const benchmark::State& state) {
+  setup_server("rt:bitonic:8?threads=64", true,
+               static_cast<std::uint32_t>(state.range(0)));
+}
 
 double percentile(std::vector<double>* sorted, double q) {
   if (sorted->empty()) return 0.0;
@@ -122,6 +142,17 @@ void BM_SvcMpUnbatched(benchmark::State& state) { run_window_body(state); }
 BENCHMARK(BM_SvcMpUnbatched)
     ->Setup(setup_mp_unbatched)
     ->Teardown(teardown_server)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SvcRtLoops(benchmark::State& state) { run_window_body(state); }
+BENCHMARK(BM_SvcRtLoops)
+    ->Setup(setup_rt_loops)
+    ->Teardown(teardown_server)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Threads(8)
     ->UseRealTime();
 

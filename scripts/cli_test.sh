@@ -110,9 +110,20 @@ check_rc "serve rejects simulated families" 2 "$CLI" serve "sim:bitonic:8"
 check_output "serve diagnostic names the live requirement" "live" \
   "$CLI" serve "sim:bitonic:8"
 
-# A server on an ephemeral port; SIGINT must stop accepting, drain, print
-# the serving stats, and exit 130 — the same contract as an interrupted run.
-"$CLI" serve "mp:tree:8?actors=1" --port 0 > /tmp/cnet_serve_report.$$ 2>&1 &
+# --- serve --loops: the sharding contract ------------------------------------
+check_output "serve usage mentions --loops" "loops" "$CLI" serve
+check_rc "serve rejects --loops 0" 2 "$CLI" serve "mp:tree:8" --loops 0
+check_output "serve --loops 0 diagnostic explains the bound" "must be >= 1" \
+  "$CLI" serve "mp:tree:8" --loops 0
+check_rc "serve rejects rt thread space smaller than loops" 2 \
+  "$CLI" serve "rt:bitonic:8?threads=2" --loops 4
+check_output "rt/loops diagnostic names the slice requirement" "thread-id slice" \
+  "$CLI" serve "rt:bitonic:8?threads=2" --loops 4
+
+# A two-loop server on an ephemeral port; SIGINT must stop accepting, drain
+# every loop, print the merged serving stats, and exit 130 — the same
+# contract as an interrupted run.
+"$CLI" serve "mp:tree:8?actors=1" --port 0 --loops 2 > /tmp/cnet_serve_report.$$ 2>&1 &
 serve_pid=$!
 sleep 1
 kill -INT "$serve_pid"
@@ -125,6 +136,7 @@ else
   failures=$((failures + 1))
 fi
 if grep -q "serving mp:tree:8" /tmp/cnet_serve_report.$$ \
+    && grep -q "2 loops" /tmp/cnet_serve_report.$$ \
     && grep -q "shut down:" /tmp/cnet_serve_report.$$; then
   echo "ok: SIGINT serve prints the wind-down stats"
 else

@@ -23,12 +23,6 @@ double ns_since(Clock::time_point t0) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
 }
 
-std::vector<std::uint64_t> split_ops(std::uint64_t total, std::uint32_t threads) {
-  std::vector<std::uint64_t> quota(threads, total / threads);
-  for (std::uint32_t t = 0; t < total % threads; ++t) ++quota[t];
-  return quota;
-}
-
 /// One live issuer thread: runs its share of the workload against the
 /// backend, recording an Operation per claimed value. `stop` (optional)
 /// ends the run early between operations; `injector` (optional) supplies
@@ -90,14 +84,13 @@ void live_issuer(CountingBackend& backend, const Workload& workload, std::uint32
       remaining -= n;
     }
   } else if (workload.arrival == Arrival::kPoisson) {
-    // Aggregate rate split evenly: each issuer paces at rate/threads
-    // against the wall clock (rate is ops per second on live backends).
-    Rng gaps(thread_seed);
-    const double mean_gap_ns =
-        1e9 * static_cast<double>(std::max(1u, workload.threads)) / workload.rate;
-    double next_arrival = 0.0;
+    // The first-class open-loop mode: this issuer paces against the shared
+    // OpenLoopPacer schedule (aggregate rate split evenly, exponential
+    // gaps) — the very same schedule cnet_loadgen offers over the wire for
+    // this (workload, issuer) pair.
+    OpenLoopPacer pacer(workload, thread_seed);
     for (std::uint64_t i = 0; i < quota && !stopped(); ++i) {
-      next_arrival += -mean_gap_ns * std::log(1.0 - gaps.unit());
+      const double next_arrival = pacer.next_arrival_ns();
       while (ns_since(*t0) < next_arrival) {
         if (stopped()) return;
         cpu_relax();
@@ -154,28 +147,6 @@ RunReport reject(RunReport report, std::string why) {
 
 }  // namespace
 
-std::string Workload::to_string() const {
-  const char* kind = arrival == Arrival::kClosed    ? "closed"
-                     : arrival == Arrival::kPoisson ? "poisson"
-                                                    : "burst";
-  std::string s = kind;
-  s += " threads=" + std::to_string(threads);
-  s += " ops=" + std::to_string(total_ops);
-  if (batch > 1) s += " batch=" + std::to_string(batch);
-  if (arrival == Arrival::kPoisson) s += " rate=" + std::to_string(rate);
-  if (arrival == Arrival::kBurst) {
-    s += " burst=" + std::to_string(burst_size) + " gap=" + std::to_string(burst_gap);
-  }
-  if (delayed_fraction > 0.0) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, " f=%.2f", delayed_fraction);
-    s += buf;
-    s += " wait=" + std::to_string(wait);
-  }
-  s += " seed=" + std::to_string(seed);
-  return s;
-}
-
 RunReport Runner::run(CountingBackend& backend, const Workload& workload,
                       const std::atomic<bool>* stop) {
   RunReport report;
@@ -205,15 +176,14 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload,
     const std::uint32_t threads = workload.threads;
     const auto n_delayed = static_cast<std::uint32_t>(
         std::lround(workload.delayed_fraction * static_cast<double>(threads)));
-    const std::vector<std::uint64_t> quota = split_ops(workload.total_ops, threads);
+    const std::vector<std::uint64_t> quota = issuer_quotas(workload.total_ops, threads);
     std::vector<lin::History> per_thread(threads);
     std::vector<std::uint64_t> abandoned(threads, 0);
     fault::Injector* injector = backend.fault_injector();
 
-    // Per-thread deterministic seeds for the Poisson pacers.
-    std::uint64_t seed_state = workload.seed;
-    std::vector<std::uint64_t> seeds(threads);
-    for (auto& seed : seeds) seed = splitmix64(seed_state);
+    // The canonical per-issuer seed chain (shared with cnet_loadgen, so an
+    // over-the-wire run of this workload draws the same pacer streams).
+    const std::vector<std::uint64_t> seeds = issuer_seeds(workload.seed, threads);
 
     std::atomic<bool> go{false};
     Clock::time_point t0;

@@ -1,0 +1,64 @@
+#include "run/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cnet::run {
+
+double Workload::mean_gap_ns() const {
+  return 1e9 * static_cast<double>(std::max(1u, threads)) / rate;
+}
+
+std::string Workload::to_string() const {
+  const char* kind = arrival == Arrival::kClosed    ? "closed"
+                     : arrival == Arrival::kPoisson ? "poisson"
+                                                    : "burst";
+  std::string s = kind;
+  s += " threads=" + std::to_string(threads);
+  s += " ops=" + std::to_string(total_ops);
+  if (batch > 1) s += " batch=" + std::to_string(batch);
+  if (arrival == Arrival::kPoisson) s += " rate=" + std::to_string(rate);
+  if (arrival == Arrival::kBurst) {
+    s += " burst=" + std::to_string(burst_size) + " gap=" + std::to_string(burst_gap);
+  }
+  if (delayed_fraction > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " f=%.2f", delayed_fraction);
+    s += buf;
+    s += " wait=" + std::to_string(wait);
+  }
+  s += " seed=" + std::to_string(seed);
+  return s;
+}
+
+std::vector<std::uint64_t> issuer_quotas(std::uint64_t total_ops, std::uint32_t issuers) {
+  std::vector<std::uint64_t> quota(issuers, issuers == 0 ? 0 : total_ops / issuers);
+  for (std::uint32_t i = 0; issuers != 0 && i < total_ops % issuers; ++i) ++quota[i];
+  return quota;
+}
+
+std::vector<std::uint64_t> issuer_seeds(std::uint64_t seed, std::uint32_t issuers) {
+  std::vector<std::uint64_t> seeds(issuers);
+  std::uint64_t state = seed;
+  for (auto& s : seeds) s = splitmix64(state);
+  return seeds;
+}
+
+OpenLoopPacer::OpenLoopPacer(const Workload& workload, std::uint64_t stream_seed)
+    : rng_(stream_seed), mean_gap_ns_(workload.mean_gap_ns()) {}
+
+double OpenLoopPacer::next_arrival_ns() {
+  // Inverse-transform exponential gap. rng_.unit() is in [0, 1), so the
+  // argument of log is in (0, 1] and every gap is finite and positive.
+  next_ns_ += -mean_gap_ns_ * std::log(1.0 - rng_.unit());
+  return next_ns_;
+}
+
+std::vector<double> OpenLoopPacer::schedule(std::uint64_t quota) {
+  std::vector<double> arrivals(quota);
+  for (auto& at : arrivals) at = next_arrival_ns();
+  return arrivals;
+}
+
+}  // namespace cnet::run

@@ -12,7 +12,6 @@
 #include <chrono>
 #include <cstring>
 #include <unordered_map>
-#include <vector>
 
 #include "util/assert.h"
 
@@ -20,12 +19,12 @@ namespace cnet::svc {
 
 using Clock = std::chrono::steady_clock;
 
-/// One accepted connection. Owned by the loop; referenced (borrowed) by the
+/// One accepted connection. Owned by its loop; referenced (borrowed) by the
 /// wake's pending requests, so a dying connection is quarantined in a
 /// graveyard until the wake that killed it finishes.
 struct Server::Conn {
   int fd = -1;
-  std::uint32_t id = 0;  ///< dense-ish id; maps to a backend entry input
+  std::uint32_t id = 0;  ///< loop-local dense id; maps to a backend entry input
 
   std::vector<std::uint8_t> in;  ///< received, not yet parsed
   std::size_t in_off = 0;        ///< parse cursor into `in`
@@ -33,9 +32,9 @@ struct Server::Conn {
   std::vector<std::uint8_t> out;  ///< encoded, not yet written
   std::size_t out_off = 0;
 
-  bool want_write = false;        ///< EPOLLOUT armed
-  bool close_after_flush = false; ///< drop once `out` drains (error path)
-  bool dead = false;              ///< closed this wake; in the graveyard
+  bool want_write = false;         ///< EPOLLOUT armed
+  bool close_after_flush = false;  ///< drop once `out` drains (error path)
+  bool dead = false;               ///< closed this wake; in the graveyard
 
   /// A malformed frame poisons the stream, but requests decoded before it
   /// are still served: the error frame is held here and appended *after*
@@ -60,23 +59,92 @@ void set_nodelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);  // best effort
 }
 
+/// Creates one nonblocking SO_REUSEPORT listener on host:*port. Every loop
+/// binds its own listener to the same port, so the kernel spreads incoming
+/// connections across them by flow hash. When *port is 0 the first call
+/// learns the kernel-chosen ephemeral port (getsockname) and writes it
+/// back, so the remaining loops bind the same one. Returns -1 with a
+/// diagnostic in *error on failure.
+int make_listener(const std::string& host, std::uint16_t* port, std::string* error) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = "socket(): " + std::string(std::strerror(errno));
+    return -1;
+  }
+  const auto fail = [&](const std::string& message) {
+    *error = message;
+    ::close(fd);
+    return -1;
+  };
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+    return fail("setsockopt(SO_REUSEPORT): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return fail("bad listen address '" + host + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail("bind(" + host + "): " + std::strerror(errno));
+  }
+  if (listen(fd, 1024) != 0) {
+    return fail("listen(): " + std::string(std::strerror(errno)));
+  }
+  if (*port == 0) {
+    socklen_t len = sizeof addr;
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return fail("getsockname(): " + std::string(std::strerror(errno)));
+    }
+    *port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
 }  // namespace
 
-/// The event loop proper: owns the connections and every backend issue.
-/// Lives on the loop thread only.
+/// One event loop shard: owns its listener, epoll instance, connections,
+/// and every backend issue for them. run() lives on the loop's own thread;
+/// init() runs on the starting thread (so failures surface in start());
+/// wake() is callable from any thread.
 class Server::Loop {
  public:
-  explicit Loop(Server& server) : s_(server) {}
+  /// `issue_base`/`issue_slots` delimit this loop's private slice of the
+  /// backend's thread-id space: all issues use ids in
+  /// [issue_base, issue_base + issue_slots), so concurrent loops never
+  /// violate rt's "thread_id unique among concurrent callers" contract.
+  Loop(Server& server, int listen_fd, std::uint32_t issue_base, std::uint32_t issue_slots,
+       StatShard& stats)
+      : s_(server),
+        stats_(stats),
+        listen_fd_(listen_fd),
+        issue_base_(issue_base),
+        issue_slots_(std::max(1u, issue_slots)) {}
 
   ~Loop() {
     for (auto& [fd, conn] : conns_) ::close(fd);
     if (epfd_ >= 0) ::close(epfd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
   }
+
+  Loop(const Loop&) = delete;
+  Loop& operator=(const Loop&) = delete;
 
   bool init() {
     epfd_ = epoll_create1(EPOLL_CLOEXEC);
     if (epfd_ < 0) return false;
-    return add_fd(s_.listen_fd_, kListenerTag) && add_fd(s_.wake_fd_, kWakeTag);
+    wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) return false;
+    return add_fd(listen_fd_, kListenerTag) && add_fd(wake_fd_, kWakeTag);
+  }
+
+  /// Kicks the loop out of epoll_wait (stop path). Thread-safe.
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof one);
   }
 
   void run() {
@@ -95,7 +163,7 @@ class Server::Loop {
           accept_all();
         } else if (ev.data.u64 == kWakeTag) {
           std::uint64_t drained = 0;
-          while (read(s_.wake_fd_, &drained, sizeof drained) > 0) {
+          while (read(wake_fd_, &drained, sizeof drained) > 0) {
           }
         } else {
           auto* conn = reinterpret_cast<Conn*>(ev.data.u64);
@@ -129,11 +197,36 @@ class Server::Loop {
       }
       bury();
     }
+    drain_for_stop();
   }
 
  private:
   static constexpr std::uint64_t kListenerTag = 0;
   static constexpr std::uint64_t kWakeTag = 1;
+
+  /// The stop-path drain: every admitted request was already served and
+  /// its response encoded (pending_ never survives a wake), so draining
+  /// means pushing the unwritten response bytes out before the sockets
+  /// close — one best-effort flush per connection. A peer that stopped
+  /// reading loses its tail (the alternative is an unbounded shutdown).
+  void drain_for_stop() {
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn* conn = (it++)->second.get();
+      if (conn->dead) continue;
+      if (conn->unwritten() != 0) flush(conn);
+      if (conn->dead) continue;
+      // Requests the peer sent but this loop never read would turn the
+      // close into an RST, which can destroy the responses just flushed.
+      // Discarding them lets the shutdown go out as a clean FIN after the
+      // last whole frame — the peer sees complete responses, then EOF,
+      // never a truncated stream.
+      std::uint8_t discard[16 * 1024];
+      while (read(conn->fd, discard, sizeof discard) > 0) {
+      }
+      shutdown(conn->fd, SHUT_WR);
+    }
+    bury();
+  }
 
   bool add_fd(int fd, std::uint64_t tag) {
     epoll_event ev{};
@@ -144,7 +237,7 @@ class Server::Loop {
 
   void accept_all() {
     for (;;) {
-      const int fd = accept4(s_.listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) return;  // EAGAIN, or a transient accept error — try next wake
       set_nodelay(fd);
       auto conn = std::make_unique<Conn>();
@@ -157,7 +250,7 @@ class Server::Loop {
         ::close(fd);
         return;
       }
-      s_.accepted_.fetch_add(1, std::memory_order_relaxed);
+      stats_.accepted.fetch_add(1, std::memory_order_relaxed);
       conns_.emplace(fd, std::move(conn));
     }
   }
@@ -194,7 +287,7 @@ class Server::Loop {
                              &request, &consumed, &wire_error);
       if (result == DecodeResult::kNeedMore) break;
       if (result == DecodeResult::kMalformed) {
-        s_.protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         conn->error_pending = true;
         conn->error_response = {Status::kError, wire_error, request.request_id, 0};
         conn->in.clear();
@@ -202,7 +295,7 @@ class Server::Loop {
         return;
       }
       conn->in_off += consumed;
-      s_.requests_.fetch_add(1, std::memory_order_relaxed);
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
       if (s_.timing_tripped_.load(std::memory_order_relaxed)) {
         enqueue_response(conn,
                          {Status::kShed, WireError::kTimingShed, request.request_id, 0});
@@ -224,12 +317,19 @@ class Server::Loop {
     }
   }
 
+  /// The issue id for a connection's individually served requests: this
+  /// loop's private slice of the backend's thread-id space, spread over
+  /// the slice by the loop-local connection id.
+  std::uint32_t issue_id(const Conn* conn) const {
+    return issue_base_ + conn->id % issue_slots_;
+  }
+
   /// The boundary-batching core (see server.h): everything this wake
   /// coalesced is issued against the backend in bulk.
   void serve_pending() {
-    s_.wakes_.fetch_add(1, std::memory_order_relaxed);
-    if (pending_.size() > s_.largest_batch_.load(std::memory_order_relaxed)) {
-      s_.largest_batch_.store(pending_.size(), std::memory_order_relaxed);
+    stats_.wakes.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.size() > stats_.largest_batch.load(std::memory_order_relaxed)) {
+      stats_.largest_batch.store(pending_.size(), std::memory_order_relaxed);
     }
     if (!s_.options_.batching) {
       // The ablation baseline is the textbook request-response loop: serve
@@ -259,9 +359,9 @@ class Server::Loop {
       handles.clear();
       handles.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        handles.push_back(s_.backend_.count_begin(pending_[base + i].conn->id, 0));
+        handles.push_back(s_.backend_.count_begin(issue_id(pending_[base + i].conn), 0));
       }
-      s_.batches_.fetch_add(1, std::memory_order_relaxed);
+      stats_.batches.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < n; ++i) {
         const PendingRequest& p = pending_[base + i];
         if (p.request.op == Op::kCount) {
@@ -287,7 +387,6 @@ class Server::Loop {
   /// budget is spent — rt cannot abandon a traversal the serving thread
   /// itself executes.
   void serve_batched_sync() {
-    const std::uint32_t max_threads = std::max(1u, s_.backend_.spec().max_threads);
     std::vector<const PendingRequest*> plain;
     plain.reserve(pending_.size());
     for (const PendingRequest& p : pending_) {
@@ -302,11 +401,14 @@ class Server::Loop {
     for (std::size_t base = 0; base < plain.size(); base += cap) {
       const std::size_t n = std::min<std::size_t>(cap, plain.size() - base);
       values.resize(n);
-      // The rotor spreads successive chunks over the network's entry
-      // inputs (count_batch enters at thread_id mod input_width).
-      const auto thread_id = static_cast<std::uint32_t>(batch_rotor_++ % max_threads);
+      // The rotor spreads successive chunks over this loop's slice of the
+      // entry inputs (count_batch enters at thread_id mod input_width);
+      // slices are disjoint across loops, so concurrent chunks never share
+      // a thread id.
+      const std::uint32_t thread_id =
+          issue_base_ + static_cast<std::uint32_t>(batch_rotor_++ % issue_slots_);
       s_.backend_.count_batch(thread_id, values);
-      s_.batches_.fetch_add(1, std::memory_order_relaxed);
+      stats_.batches.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < n; ++i) respond_ok(*plain[base + i], values[i]);
     }
   }
@@ -314,11 +416,10 @@ class Server::Loop {
   /// The unbatched path (ablation baseline) and the batched path's
   /// per-request cases: one independent backend operation per request.
   void serve_one(const PendingRequest& p) {
-    const std::uint32_t max_threads = std::max(1u, s_.backend_.spec().max_threads);
-    const std::uint32_t thread_id = p.conn->id % max_threads;
+    const std::uint32_t thread_id = issue_id(p.conn);
     if (p.request.op == Op::kCount) {
       respond_ok(p, s_.backend_.count(thread_id));
-      if (!s_.options_.batching) s_.batches_.fetch_add(1, std::memory_order_relaxed);
+      if (!s_.options_.batching) stats_.batches.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     const Clock::time_point now = Clock::now();
@@ -355,9 +456,9 @@ class Server::Loop {
   void enqueue_response(Conn* conn, const Response& response) {
     if (conn->dead) return;
     switch (response.status) {
-      case Status::kOk: s_.ok_.fetch_add(1, std::memory_order_relaxed); break;
-      case Status::kTimeout: s_.timeout_.fetch_add(1, std::memory_order_relaxed); break;
-      case Status::kShed: s_.shed_.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kOk: stats_.ok.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kTimeout: stats_.timeout.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kShed: stats_.shed.fetch_add(1, std::memory_order_relaxed); break;
       case Status::kError: break;  // counted at the parse site
     }
     if (conn->unwritten() > s_.options_.max_write_buffer) {
@@ -407,7 +508,7 @@ class Server::Loop {
     conn->dead = true;
     epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::close(conn->fd);
-    s_.closed_.fetch_add(1, std::memory_order_relaxed);
+    stats_.closed.fetch_add(1, std::memory_order_relaxed);
     const auto it = conns_.find(conn->fd);
     CNET_CHECK(it != conns_.end());
     graveyard_.push_back(std::move(it->second));
@@ -418,7 +519,8 @@ class Server::Loop {
 
   /// One admission check per wake: the backend's own DegradeGuard trip is
   /// always honoured; the server-side threshold (when configured) latches
-  /// on the same online estimate the guard watches.
+  /// on the same online estimate the guard watches. The latch is shared
+  /// across loops — a trip here sheds everywhere.
   void check_timing() {
     if (s_.timing_tripped_.load(std::memory_order_relaxed)) return;
     bool trip = s_.backend_.degrade_status().tripped;
@@ -429,7 +531,12 @@ class Server::Loop {
   }
 
   Server& s_;
+  StatShard& stats_;
+  int listen_fd_ = -1;
   int epfd_ = -1;
+  int wake_fd_ = -1;
+  const std::uint32_t issue_base_;
+  const std::uint32_t issue_slots_;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   std::vector<std::unique_ptr<Conn>> graveyard_;
   std::vector<PendingRequest> pending_;
@@ -445,75 +552,90 @@ Server::~Server() { stop(); }
 bool Server::start(std::string* error) {
   const auto fail = [&](const std::string& message) {
     if (error != nullptr) *error = message;
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    listen_fd_ = wake_fd_ = -1;
+    loops_.clear();  // Loop destructors close any fds already open
+    shards_.clear();
     return false;
   };
   if (!backend_.live()) {
     return fail("svc::Server serves live backends only (rt, mp); '" +
                 backend_.spec().to_string() + "' executes in virtual time");
   }
-  CNET_CHECK_MSG(!loop_thread_.joinable(), "Server::start called twice");
+  const std::uint32_t n_loops = options_.loops;
+  if (n_loops == 0) {
+    return fail("ServerOptions::loops must be >= 1 — zero event loops cannot serve"
+                " (the default is the hardware concurrency)");
+  }
+  const std::uint32_t max_threads = std::max(1u, backend_.spec().max_threads);
+  if (backend_.spec().family == run::Family::kRt && max_threads < n_loops) {
+    return fail("spec '" + backend_.spec().to_string() + "' bounds concurrent issuers at"
+                " threads=" + std::to_string(max_threads) + ", below loops=" +
+                std::to_string(n_loops) + " — every loop needs its own thread-id slice"
+                " (raise ?threads= or lower loops)");
+  }
+  CNET_CHECK_MSG(loop_threads_.empty(), "Server::start called twice");
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return fail("socket(): " + std::string(std::strerror(errno)));
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return fail("bad listen address '" + options_.host + "'");
+  // One SO_REUSEPORT listener per loop, all on the same port: the first
+  // bind resolves an ephemeral port request, the rest join it.
+  std::uint16_t bound_port = options_.port;
+  std::vector<int> listeners;
+  listeners.reserve(n_loops);
+  for (std::uint32_t i = 0; i < n_loops; ++i) {
+    std::string listen_error;
+    const int fd = make_listener(options_.host, &bound_port, &listen_error);
+    if (fd < 0) {
+      for (int open_fd : listeners) ::close(open_fd);
+      return fail(listen_error);
+    }
+    listeners.push_back(fd);
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    return fail("bind(" + options_.host + "): " + std::strerror(errno));
-  }
-  if (listen(listen_fd_, 1024) != 0) {
-    return fail("listen(): " + std::string(std::strerror(errno)));
-  }
-  socklen_t len = sizeof addr;
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    return fail("getsockname(): " + std::string(std::strerror(errno)));
-  }
-  port_ = ntohs(addr.sin_port);
+  port_ = bound_port;
 
-  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) return fail("eventfd(): " + std::string(std::strerror(errno)));
+  // Disjoint thread-id slices: loop i issues with ids in
+  // [i*slots, (i+1)*slots), keeping rt's uniqueness contract across loops.
+  const std::uint32_t slots = std::max(1u, max_threads / n_loops);
+  shards_.reserve(n_loops);
+  loops_.reserve(n_loops);
+  for (std::uint32_t i = 0; i < n_loops; ++i) {
+    shards_.push_back(std::make_unique<StatShard>());
+    loops_.push_back(
+        std::make_unique<Loop>(*this, listeners[i], i * slots, slots, *shards_[i]));
+    if (!loops_.back()->init()) {
+      return fail("epoll setup failed: " + std::string(std::strerror(errno)));
+    }
+  }
 
   stopping_.store(false, std::memory_order_release);
-  loop_thread_ = std::thread([this] { run_loop(); });
+  loop_threads_.reserve(n_loops);
+  for (auto& loop : loops_) {
+    loop_threads_.emplace_back([raw = loop.get()] { raw->run(); });
+  }
   return true;
 }
 
-void Server::run_loop() {
-  Loop loop(*this);
-  if (loop.init()) loop.run();
-}
-
 void Server::stop() {
-  if (!loop_thread_.joinable()) return;
+  if (loop_threads_.empty()) return;
   stopping_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof one);
-  loop_thread_.join();
-  ::close(listen_fd_);
-  ::close(wake_fd_);
-  listen_fd_ = wake_fd_ = -1;
+  for (auto& loop : loops_) loop->wake();
+  for (auto& thread : loop_threads_) thread.join();
+  loop_threads_.clear();
+  loops_.clear();  // closes every fd; shards_ stay for post-stop stats()
 }
 
 Server::Stats Server::stats() const {
   Stats s;
-  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  s.connections_closed = closed_.load(std::memory_order_relaxed);
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.responses_ok = ok_.load(std::memory_order_relaxed);
-  s.responses_timeout = timeout_.load(std::memory_order_relaxed);
-  s.responses_shed = shed_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.largest_batch = largest_batch_.load(std::memory_order_relaxed);
-  s.wakes = wakes_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    s.connections_accepted += shard->accepted.load(std::memory_order_relaxed);
+    s.connections_closed += shard->closed.load(std::memory_order_relaxed);
+    s.requests += shard->requests.load(std::memory_order_relaxed);
+    s.responses_ok += shard->ok.load(std::memory_order_relaxed);
+    s.responses_timeout += shard->timeout.load(std::memory_order_relaxed);
+    s.responses_shed += shard->shed.load(std::memory_order_relaxed);
+    s.protocol_errors += shard->protocol_errors.load(std::memory_order_relaxed);
+    s.batches += shard->batches.load(std::memory_order_relaxed);
+    s.largest_batch =
+        std::max(s.largest_batch, shard->largest_batch.load(std::memory_order_relaxed));
+    s.wakes += shard->wakes.load(std::memory_order_relaxed);
+  }
   return s;
 }
 

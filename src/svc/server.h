@@ -1,24 +1,44 @@
-// cnet::svc::Server — the network front-end: a non-blocking epoll TCP
-// server that exposes any live run::CountingBackend (rt or mp, any
+// cnet::svc::Server — the network front-end: a sharded, non-blocking epoll
+// TCP server that exposes any live run::CountingBackend (rt or mp, any
 // `<family>:<structure>:<width>?opts` spec) as the wire protocol of
 // svc/frame.h.
 //
-// The perf core is *boundary batching*: one event-loop wake drains every
-// readable connection, coalescing the decoded requests into a pending set,
-// and then issues them against the backend in bulk — one next_batch(k) per
-// chunk on rt, one pooled burst of k mailbox sends (count_begin x k, then
-// collect) on mp — instead of k independent traversals. This moves PR 1's
-// 1.77x batched-issue win (and mp's burst pipelining) across the
-// address-space boundary: the k requests of one wake share entry lookup,
-// output fetch_adds, and worker wakeups — and their responses share one
-// coalesced write() per connection — while each request still gets its own
-// counter value. `ServerOptions::batching = false` is the ablation BENCH_svc
-// measures: the textbook request-response loop, one backend issue and one
-// response write per request, in arrival order.
+// Sharding: the server runs `ServerOptions::loops` INDEPENDENT event loops
+// (default: the hardware concurrency), each with its own SO_REUSEPORT
+// listener on the same host:port, its own epoll instance, connection map,
+// write buffers, pending set, and stats shard. The kernel spreads incoming
+// connections across the listeners by flow hash, so the accept path, the
+// parse path, and the response path all scale with cores — the counting
+// network stops being fronted by a single hot epoll loop, which was the
+// service's whole ceiling at loops=1. The only state loops share is
+//   * the backend itself (run::CountingBackend is thread-safe; each loop
+//     issues from a DISJOINT slice of the backend's thread-id space, so
+//     rt's "thread_id unique among concurrent callers" contract holds),
+//   * the latched timing-shed signal (one loop tripping sheds everywhere —
+//     a broken Cor 3.9 condition voids the whole server, not one shard),
+//   * the stop flag.
+// Stats are per-loop shards merged on read, the same pattern as src/obs's
+// sharded counters: loop-local relaxed writes, sum (max for largest_batch)
+// in Server::stats().
+//
+// The perf core within each loop is *boundary batching*: one event-loop
+// wake drains every readable connection, coalescing the decoded requests
+// into a pending set, and then issues them against the backend in bulk —
+// one next_batch(k) per chunk on rt, one pooled burst of k mailbox sends
+// (count_begin x k, then collect) on mp — instead of k independent
+// traversals. This moves PR 1's 1.77x batched-issue win (and mp's burst
+// pipelining) across the address-space boundary: the k requests of one
+// wake share entry lookup, output fetch_adds, and worker wakeups — and
+// their responses share one coalesced write() per connection — while each
+// request still gets its own counter value. `ServerOptions::batching =
+// false` is the ablation BENCH_svc measures: the textbook request-response
+// loop, one backend issue and one response write per request, in arrival
+// order.
 //
 // Admission control / backpressure (all answered with Status::kShed, never
 // an unbounded queue):
-//   * backlog    — pending requests beyond max_pending are shed on arrival;
+//   * backlog    — pending requests beyond max_pending are shed on arrival
+//                  (per loop; the cap bounds one wake's coalesced batch);
 //   * timing     — when the backend's online c2/c1 estimate crosses
 //                  c2c1_shed_threshold (Cor 3.9's bound is 2), or the rt
 //                  DegradeGuard reports tripped, the server latches into
@@ -26,7 +46,9 @@
 //                  service is void, so new work is refused rather than
 //                  served with a silently weaker guarantee (the latch
 //                  matches rt::DegradeGuard — timing that broke once voids
-//                  the run; restart the server to re-arm);
+//                  the run; restart the server to re-arm). The latch is
+//                  server-wide: any loop can trip it, every loop honours
+//                  it from its next admission check;
 //   * conn flood — a connection whose write buffer outgrows
 //                  max_write_buffer is dropped.
 //
@@ -39,17 +61,21 @@
 // answered kTimeout without executing, and a live one executes to
 // completion (docs/SERVICE.md spells out the per-family matrix).
 //
-// Threading: one event-loop thread owns every connection and issues all
-// backend operations (mp operations still execute on the service's own
-// workers — the loop only blocks on collects). start()/stop()/stats() are
-// callable from any thread.
+// Threading: each event-loop thread owns its connections and issues all
+// their backend operations (mp operations still execute on the service's
+// own workers — a loop only blocks on collects). start()/stop()/stats()
+// are callable from any thread. stop() drains: every loop stops accepting,
+// flushes what its connections still owe, and joins before stop() returns,
+// so a stats() read after stop() is the complete final tally.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "run/backend.h"
 #include "svc/frame.h"
@@ -62,11 +88,18 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound one via port()
 
-  bool batching = true;        ///< boundary batching (see file comment)
+  /// Independent event loops, each with its own SO_REUSEPORT listener on
+  /// the same port. Defaults to the hardware concurrency (min 1). 0 is
+  /// invalid — start() refuses it with a diagnostic rather than guessing.
+  /// An rt backend additionally needs its spec's `threads=` bound to be
+  /// >= loops, so every loop gets a non-empty thread-id slice.
+  std::uint32_t loops = std::max(1u, std::thread::hardware_concurrency());
+
+  bool batching = true;          ///< boundary batching (see file comment)
   std::uint32_t max_batch = 64;  ///< issue chunk cap per backend call
 
   /// Backlog admission cap: requests decoded while this many are already
-  /// pending in the current wake are shed (kBacklogShed).
+  /// pending in the current wake are shed (kBacklogShed). Per loop.
   std::uint32_t max_pending = 4096;
 
   /// Timing admission: shed once the backend's online c2/c1 estimate
@@ -81,11 +114,13 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// Monotone counters, readable while the server runs (relaxed loads).
+  /// Monotone counters, merged across every loop's shard on read (sums;
+  /// `largest_batch` is the max over loops). Readable while the server
+  /// runs; exact once stop() has returned.
   struct Stats {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_closed = 0;
-    std::uint64_t requests = 0;        ///< well-formed frames decoded
+    std::uint64_t requests = 0;  ///< well-formed frames decoded
     std::uint64_t responses_ok = 0;
     std::uint64_t responses_timeout = 0;
     std::uint64_t responses_shed = 0;
@@ -103,22 +138,28 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the event-loop thread. False (with a
-  /// diagnostic in *error) on a non-live backend or any socket failure.
+  /// Binds one SO_REUSEPORT listener per loop, and spawns the loop
+  /// threads. False (with a diagnostic in *error) on a non-live backend,
+  /// loops == 0, an rt thread-id space too small for the loop count, or
+  /// any socket failure.
   bool start(std::string* error);
 
-  /// Wakes the loop, closes every connection, joins. Idempotent.
+  /// Drains and stops every loop: each stops accepting, flushes what its
+  /// connections still owe, closes them, and joins. Idempotent.
   void stop();
 
-  /// The bound TCP port (the ephemeral one when options.port == 0). Valid
-  /// after a successful start().
+  /// The bound TCP port, shared by every loop's listener (the ephemeral
+  /// one when options.port == 0). Valid after a successful start().
   std::uint16_t port() const { return port_; }
 
-  /// True once admission control has latched into timing shed.
+  /// The number of event loops actually serving (== options.loops).
+  std::uint32_t loops() const { return static_cast<std::uint32_t>(loops_.size()); }
+
+  /// True once admission control has latched into timing shed (any loop).
   bool timing_tripped() const { return timing_tripped_.load(std::memory_order_acquire); }
 
   /// Operational/testing hook: latch timing shed now, exactly as a crossed
-  /// estimate would.
+  /// estimate would. Every loop sheds from its next admission check.
   void trip_timing_shed() { timing_tripped_.store(true, std::memory_order_release); }
 
   Stats stats() const;
@@ -128,29 +169,33 @@ class Server {
   struct PendingRequest;
   class Loop;
 
+  /// One loop's stats shard: written by the owning loop only (relaxed),
+  /// summed by stats(). Cache-line sized so shards never false-share —
+  /// the same discipline as obs::ShardedCounter.
+  struct alignas(64) StatShard {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> timeout{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> largest_batch{0};
+    std::atomic<std::uint64_t> wakes{0};
+  };
+
   run::CountingBackend& backend_;
   ServerOptions options_;
   std::uint16_t port_ = 0;
 
-  int listen_fd_ = -1;
-  int wake_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> timing_tripped_{false};
-  std::thread loop_thread_;
 
-  // Stats cells (relaxed; written by the loop thread only).
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> closed_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> ok_{0};
-  std::atomic<std::uint64_t> timeout_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> largest_batch_{0};
-  std::atomic<std::uint64_t> wakes_{0};
-
-  void run_loop();
+  /// Shards outlive the loops so stats() remains readable after stop().
+  std::vector<std::unique_ptr<StatShard>> shards_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> loop_threads_;
 };
 
 }  // namespace cnet::svc

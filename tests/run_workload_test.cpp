@@ -1,0 +1,150 @@
+// The open-loop arrival schedule is a first-class, deterministic artifact:
+// issuer_seeds / issuer_quotas / OpenLoopPacer are the one definition of
+// "who sends when", shared by the in-process Runner and the over-the-wire
+// cnet_loadgen. These tests pin that contract — the seed chain, the quota
+// split, the exponential-gap formula — so a refactor of either consumer
+// cannot silently change the traffic a given (workload, seed) pair offers.
+#include "run/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace cnet::run {
+namespace {
+
+Workload poisson_workload(std::uint32_t threads, std::uint64_t ops, double rate,
+                          std::uint64_t seed) {
+  Workload w;
+  w.arrival = Arrival::kPoisson;
+  w.threads = threads;
+  w.total_ops = ops;
+  w.rate = rate;
+  w.seed = seed;
+  return w;
+}
+
+TEST(RunWorkload, MeanGapSplitsAggregateRateAcrossStreams) {
+  // 100k ops/s over 4 streams: each stream paces at 25k ops/s, i.e. a
+  // 40 us mean gap.
+  EXPECT_DOUBLE_EQ(poisson_workload(4, 1000, 100000.0, 1).mean_gap_ns(), 40000.0);
+  EXPECT_DOUBLE_EQ(poisson_workload(1, 1000, 1e9, 1).mean_gap_ns(), 1.0);
+}
+
+TEST(RunWorkload, IssuerQuotasSplitEvenlyWithRemainderToLowIndices) {
+  const std::vector<std::uint64_t> q = issuer_quotas(10, 4);
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[0], 3u);
+  EXPECT_EQ(q[1], 3u);
+  EXPECT_EQ(q[2], 2u);
+  EXPECT_EQ(q[3], 2u);
+  EXPECT_EQ(std::accumulate(q.begin(), q.end(), std::uint64_t{0}), 10u);
+}
+
+TEST(RunWorkload, IssuerQuotasAlwaysSumToTotal) {
+  for (std::uint32_t issuers = 1; issuers <= 16; ++issuers) {
+    for (std::uint64_t total : {0ull, 1ull, 7ull, 1000ull, 99999ull}) {
+      const std::vector<std::uint64_t> q = issuer_quotas(total, issuers);
+      ASSERT_EQ(q.size(), issuers);
+      EXPECT_EQ(std::accumulate(q.begin(), q.end(), std::uint64_t{0}), total);
+      // No issuer is more than one op heavier than another.
+      EXPECT_LE(*std::max_element(q.begin(), q.end()) -
+                    *std::min_element(q.begin(), q.end()),
+                1u);
+    }
+  }
+}
+
+TEST(RunWorkload, IssuerSeedsAreTheSplitmixChain) {
+  // The chain is splitmix64 iterated over the workload seed — the exact
+  // derivation both the Runner and cnet_loadgen used before it was
+  // factored here. A change to this breaks schedule reproducibility
+  // across releases, so it is pinned against a manual replay.
+  std::uint64_t state = 42;
+  const std::vector<std::uint64_t> seeds = issuer_seeds(42, 8);
+  ASSERT_EQ(seeds.size(), 8u);
+  for (const std::uint64_t seed : seeds) EXPECT_EQ(seed, splitmix64(state));
+  // Distinct streams get distinct seeds.
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) EXPECT_NE(seeds[i], seeds[j]);
+  }
+}
+
+TEST(RunWorkload, PacerPinsTheHistoricalGapFormula) {
+  // The exact inverse-transform draw (-mean * log(1 - unit())) both
+  // consumers inlined historically. Bit-for-bit equality, not tolerance:
+  // the refactor moved this code, it must not have changed it.
+  const Workload w = poisson_workload(4, 1000, 250000.0, 7);
+  const std::uint64_t stream_seed = issuer_seeds(w.seed, 4)[2];
+  OpenLoopPacer pacer(w, stream_seed);
+
+  Rng replay(stream_seed);
+  const double mean = 1e9 * 4.0 / 250000.0;
+  double expected = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    expected += -mean * std::log(1.0 - replay.unit());
+    EXPECT_DOUBLE_EQ(pacer.next_arrival_ns(), expected);
+  }
+}
+
+TEST(RunWorkload, SameSeedSameScheduleRunnerOrWire) {
+  // The runner drives a pacer per issuer thread; cnet_loadgen drives one
+  // per TCP connection. Both construct it from (workload, issuer_seeds[i])
+  // — so two independent constructions must produce the identical
+  // schedule. This is the over-the-wire reproducibility guarantee.
+  const Workload w = poisson_workload(8, 4000, 100000.0, 123);
+  const std::vector<std::uint64_t> seeds = issuer_seeds(w.seed, w.threads);
+  for (std::uint32_t i = 0; i < w.threads; ++i) {
+    OpenLoopPacer in_process(w, seeds[i]);
+    OpenLoopPacer over_the_wire(w, seeds[i]);
+    const std::vector<double> a = in_process.schedule(500);
+    const std::vector<double> b = over_the_wire.schedule(500);
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(RunWorkload, ScheduleIsStrictlyIncreasingAndFinite) {
+  const Workload w = poisson_workload(2, 1000, 1e6, 99);
+  OpenLoopPacer pacer(w, issuer_seeds(w.seed, 2)[0]);
+  double previous = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double at = pacer.next_arrival_ns();
+    ASSERT_TRUE(std::isfinite(at));
+    ASSERT_GT(at, previous);
+    previous = at;
+  }
+}
+
+TEST(RunWorkload, EmpiricalMeanMatchesTheConfiguredRate) {
+  // 100k gaps at a 10 us configured mean: the sample mean of an
+  // exponential converges as sigma/sqrt(n) = 10us/316, so a 3% band is
+  // ~10 standard errors — deterministic in practice for a pinned seed.
+  const Workload w = poisson_workload(1, 1, 100000.0, 31337);
+  OpenLoopPacer pacer(w, issuer_seeds(w.seed, 1)[0]);
+  const int n = 100000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = pacer.next_arrival_ns();
+  const double empirical_mean = last / n;
+  EXPECT_NEAR(empirical_mean, w.mean_gap_ns(), 0.03 * w.mean_gap_ns());
+}
+
+TEST(RunWorkload, DifferentSeedsDiverge) {
+  const Workload w = poisson_workload(1, 100, 1e6, 5);
+  OpenLoopPacer a(w, 1);
+  OpenLoopPacer b(w, 2);
+  EXPECT_NE(a.next_arrival_ns(), b.next_arrival_ns());
+}
+
+TEST(RunWorkload, ToStringNamesTheArrivalProcess) {
+  EXPECT_NE(poisson_workload(4, 1000, 5000.0, 9).to_string().find("poisson"),
+            std::string::npos);
+  Workload closed;
+  EXPECT_NE(closed.to_string().find("closed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnet::run

@@ -243,6 +243,125 @@ TEST(SvcServer, RejectsSimulatedBackends) {
   EXPECT_NE(s.start_error.find("live"), std::string::npos) << s.start_error;
 }
 
+// --- multi-loop operation ---------------------------------------------------
+// The sharded server: N independent epoll loops behind SO_REUSEPORT
+// listeners on one port. The kernel spreads connections by flow hash, so a
+// test cannot dictate which loop serves which client — what it CAN pin is
+// that the contract is loop-invariant: the counting property holds over the
+// merged traffic, stats merge across shards, the shed latch is global, and
+// stop() drains every loop.
+
+TEST(SvcServer, MultiLoopEndToEndMpTree8) {
+  ServerOptions options;
+  options.loops = 4;
+  ServerUnderTest s("mp:tree:8?actors=2", options);
+  ASSERT_TRUE(s.started) << s.start_error;
+  EXPECT_EQ(s.server->loops(), 4u);
+  const lin::History history = run_clients(s.server->port(), 8, 200, 8);
+  ASSERT_EQ(history.size(), 1600u);
+  check_history(history, s.backend->network().output_width());
+  // Stats are per-loop shards merged on read; the totals must account for
+  // every connection and request no matter which loop served it.
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.connections_accepted, 8u);
+  EXPECT_EQ(stats.requests, 1600u);
+  EXPECT_EQ(stats.responses_ok, 1600u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(SvcServer, MultiLoopEndToEndRtBitonic8) {
+  // rt's thread_id contract ("unique among concurrent callers") is the
+  // sharp edge of multi-loop: each loop issues from a disjoint slice of
+  // the ?threads= space, and this test would trip the backend's internal
+  // checks (or corrupt counts) if slices overlapped.
+  ServerOptions options;
+  options.loops = 4;
+  ServerUnderTest s("rt:bitonic:8?threads=64", options);
+  ASSERT_TRUE(s.started) << s.start_error;
+  const lin::History history = run_clients(s.server->port(), 8, 200, 8);
+  ASSERT_EQ(history.size(), 1600u);
+  check_history(history, s.backend->network().output_width());
+  EXPECT_EQ(s.server->stats().responses_ok, 1600u);
+}
+
+TEST(SvcServer, MultiLoopTimingShedLatchIsGlobal) {
+  ServerOptions options;
+  options.loops = 4;
+  ServerUnderTest s("mp:tree:4?actors=1", options);
+  ASSERT_TRUE(s.started) << s.start_error;
+  s.server->trip_timing_shed();
+  // Fresh connections land on kernel-chosen loops; whichever loop each one
+  // hits must already honour the latch — a per-loop latch would let some
+  // connections keep counting under a voided timing claim.
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", s.server->port(), &error)) << error;
+    Response response;
+    ASSERT_TRUE(client.count(c, &response, &error)) << error;
+    EXPECT_EQ(response.status, Status::kShed);
+    EXPECT_EQ(response.error, WireError::kTimingShed);
+  }
+  EXPECT_EQ(s.server->stats().responses_shed, 8u);
+}
+
+TEST(SvcServer, RejectsZeroLoops) {
+  ServerOptions options;
+  options.loops = 0;
+  ServerUnderTest s("mp:tree:4?actors=1", options);
+  EXPECT_FALSE(s.started);
+  EXPECT_NE(s.start_error.find("loops"), std::string::npos) << s.start_error;
+}
+
+TEST(SvcServer, RejectsRtThreadSpaceSmallerThanLoops) {
+  // threads=2 cannot give 4 loops disjoint slices; starting anyway would
+  // make loops share thread ids and silently break rt's issue contract.
+  ServerOptions options;
+  options.loops = 4;
+  ServerUnderTest s("rt:bitonic:8?threads=2", options);
+  EXPECT_FALSE(s.started);
+  EXPECT_NE(s.start_error.find("thread-id slice"), std::string::npos) << s.start_error;
+}
+
+TEST(SvcServer, StopDrainsWithoutStrayFrames) {
+  ServerOptions options;
+  options.loops = 2;
+  ServerUnderTest s("mp:tree:8?actors=2", options);
+  ASSERT_TRUE(s.started) << s.start_error;
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", s.server->port(), &error)) << error;
+  for (std::uint64_t id = 0; id < 64; ++id) client.queue_count(id);
+  ASSERT_TRUE(client.flush(&error)) << error;
+  // Wait (via the merged stats, not the socket) until the burst is fully
+  // served, so the client-side receive buffer holds 64 response frames the
+  // client has not read yet — then stop. The drain contract: those frames
+  // survive the shutdown intact, the stream ends in a clean EOF, and
+  // nothing stray or truncated follows the last whole frame.
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (s.server->stats().responses_ok < 64 && Clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(s.server->stats().responses_ok, 64u);
+  s.server->stop();
+  std::vector<bool> seen(64, false);
+  std::uint64_t received = 0;
+  for (;;) {
+    Response response;
+    if (!client.recv_response(&response, &error)) {
+      EXPECT_EQ(error, "connection closed by server");
+      break;
+    }
+    EXPECT_EQ(response.status, Status::kOk);
+    ASSERT_LT(response.request_id, 64u);
+    EXPECT_FALSE(seen[response.request_id]);  // no duplicated frames either
+    seen[response.request_id] = true;
+    ++received;
+  }
+  EXPECT_EQ(received, 64u);
+}
+
 TEST(SvcServer, MixedOpsConcurrentClients) {
   ServerUnderTest s("mp:tree:8?actors=2");
   ASSERT_TRUE(s.started) << s.start_error;

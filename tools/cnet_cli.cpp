@@ -33,11 +33,13 @@
 //       prints the metrics snapshot (docs/OBSERVABILITY.md), the busiest
 //       balancers, and the online c2/c1 estimate; optionally dumps a
 //       chrome://tracing JSON of sampled token hops
-//   cnet_cli serve <spec> [--port N] [--host A] [--unbatched] [--max-batch N]
-//                  [--max-pending N] [--shed-threshold X]
-//       serve the backend over TCP (docs/SERVICE.md protocol) until SIGINT;
-//       winds down gracefully — stops accepting, drains, prints the serving
-//       stats — and exits 130, the same contract as an interrupted run
+//   cnet_cli serve <spec> [--port N] [--host A] [--loops N] [--unbatched]
+//                  [--max-batch N] [--max-pending N] [--shed-threshold X]
+//       serve the backend over TCP (docs/SERVICE.md protocol) until SIGINT,
+//       sharded over N independent event loops (default: the hardware
+//       concurrency); winds down gracefully — stops accepting, drains every
+//       loop, prints the merged serving stats — and exits 130, the same
+//       contract as an interrupted run
 //
 // Exit codes: 0 success, 1 a property check failed, 2 usage error (unknown
 // command, malformed spec or workload key), 130 run interrupted by SIGINT
@@ -88,8 +90,8 @@ int usage() {
       "                    [f=X] [wait=N] [seed=N]\n"
       "  cnet_cli count    <spec | kind width> <threads> <ops> [batch] [plan|walk]\n"
       "  cnet_cli stats    <spec | kind width> <threads> <ops> [batch] [trace.json]\n"
-      "  cnet_cli serve    <spec> [--port N] [--host A] [--unbatched] [--max-batch N]\n"
-      "                    [--max-pending N] [--shed-threshold X]\n"
+      "  cnet_cli serve    <spec> [--port N] [--host A] [--loops N] [--unbatched]\n"
+      "                    [--max-batch N] [--max-pending N] [--shed-threshold X]\n"
       "spec grammar: <family>:<structure>:<width>[?opt[&opt]...]  (docs/HARNESS.md)\n"
       "  families: sim, psim, rt, mp   structures: bitonic, periodic, tree, balancer\n"
       "  e.g. rt:bitonic:32?engine=plan   psim:tree:64?mcs&procs=128\n");
@@ -330,6 +332,17 @@ int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
       options.port = static_cast<std::uint16_t>(std::atoi(value()));
     } else if (arg == "--host") {
       options.host = value();
+    } else if (arg == "--loops") {
+      const int loops = std::atoi(value());
+      if (loops < 1) {
+        std::fprintf(stderr,
+                     "serve --loops must be >= 1 (got '%d'): the server needs at"
+                     " least one event loop; omit the flag for the default"
+                     " (hardware concurrency)\n",
+                     loops);
+        return 2;
+      }
+      options.loops = static_cast<std::uint32_t>(loops);
     } else if (arg == "--unbatched") {
       options.batching = false;
     } else if (arg == "--max-batch") {
@@ -350,8 +363,9 @@ int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
-  std::printf("serving %s on %s:%u (%s, max-batch %u, max-pending %u)\n",
+  std::printf("serving %s on %s:%u (%u loop%s, %s, max-batch %u, max-pending %u)\n",
               spec.to_string().c_str(), options.host.c_str(), server.port(),
+              server.loops(), server.loops() == 1 ? "" : "s",
               options.batching ? "batched" : "unbatched", options.max_batch,
               options.max_pending);
   std::fflush(stdout);

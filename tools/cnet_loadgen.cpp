@@ -3,13 +3,17 @@
 // runs).
 //
 // Open loop means arrivals are paced by a clock, not by responses: each
-// connection draws exponential inter-arrival gaps (the same pacing as
-// run::Workload's poisson arrivals, aggregate rate split evenly across
-// connections) and sends on schedule even when replies lag, so server-side
-// queueing — the thing boundary batching and admission control exist for —
-// is actually exercised. Responses drain opportunistically through the
-// nonblocking poll_response path and are matched by request_id for
-// latency measurement.
+// connection draws exponential inter-arrival gaps and sends on schedule even
+// when replies lag, so server-side queueing — the thing boundary batching
+// and admission control exist for — is actually exercised. The schedule is
+// not merely "the same pacing as" the harness's poisson arrivals, it IS the
+// harness's: the generator builds a run::Workload and drives it through the
+// same OpenLoopPacer / issuer_seeds / issuer_quotas the in-process Runner
+// uses, so `--connections C --ops N --rate R --seed S` over the wire issues
+// the byte-identical arrival schedule as `run ... threads=C ops=N rate=R
+// seed=S arrival=poisson` in process (tests/run_workload_test.cpp pins
+// this). Responses drain opportunistically through the nonblocking
+// poll_response path and are matched by request_id for latency measurement.
 //
 //   cnet_loadgen --port N [--host A] [--connections N] [--ops N]
 //                [--rate OPS_PER_SEC] [--deadline-ns D --deadline-fraction F]
@@ -30,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "run/workload.h"
 #include "svc/client.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -75,16 +80,16 @@ double ns_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
 }
 
-/// The per-connection open loop: send on the Poisson schedule, drain
-/// whatever responses are ready, then block only for the stragglers.
-void run_connection(const Options& options, std::uint32_t conn_id, std::uint64_t quota,
-                    std::uint64_t seed, Clock::time_point t0, ConnResult* result) {
+/// The per-connection open loop: send on the workload's Poisson schedule,
+/// drain whatever responses are ready, then block only for the stragglers.
+void run_connection(const Options& options, const run::Workload& workload,
+                    std::uint32_t conn_id, std::uint64_t quota, std::uint64_t seed,
+                    Clock::time_point t0, ConnResult* result) {
   svc::Client client;
   if (!client.connect(options.host, options.port, &result->error)) return;
 
-  Rng gaps(seed);
+  run::OpenLoopPacer pacer(workload, seed);
   Rng mix(seed ^ 0x9e3779b97f4a7c15ULL);
-  const double mean_gap_ns = 1e9 * static_cast<double>(options.connections) / options.rate;
   std::unordered_map<std::uint64_t, double> sent_at;
   sent_at.reserve(quota);
   const auto drain = [&](bool block) {
@@ -120,9 +125,11 @@ void run_connection(const Options& options, std::uint32_t conn_id, std::uint64_t
     }
   };
 
-  double next_arrival = ns_since(t0);
+  // The pacer's schedule is relative to the stream's own start; offsetting
+  // by the post-connect clock reproduces the historical behavior exactly.
+  const double start_ns = ns_since(t0);
   for (std::uint64_t i = 0; i < quota; ++i) {
-    next_arrival += -mean_gap_ns * std::log(1.0 - gaps.unit());
+    const double next_arrival = start_ns + pacer.next_arrival_ns();
     while (ns_since(t0) < next_arrival) {
       if (!drain(false)) return;  // poll instead of spinning empty
     }
@@ -195,10 +202,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Per-connection deterministic seeds, runner-style.
-  std::uint64_t seed_state = options.seed;
-  std::vector<std::uint64_t> seeds(options.connections);
-  for (auto& seed : seeds) seed = splitmix64(seed_state);
+  // The wire run is the harness workload, verbatim: one issuer per
+  // connection, with run::Workload owning the seed chain, the quota split,
+  // and the exponential pacing. The Runner's in-process poisson issuers and
+  // these threads derive identical schedules from identical parameters.
+  run::Workload workload;
+  workload.arrival = run::Arrival::kPoisson;
+  workload.threads = options.connections;
+  workload.total_ops = options.ops;
+  workload.rate = options.rate;
+  workload.seed = options.seed;
+  const std::vector<std::uint64_t> seeds =
+      run::issuer_seeds(workload.seed, options.connections);
+  const std::vector<std::uint64_t> quotas =
+      run::issuer_quotas(workload.total_ops, options.connections);
 
   std::vector<ConnResult> results(options.connections);
   const Clock::time_point t0 = Clock::now();
@@ -206,10 +223,8 @@ int main(int argc, char** argv) {
     std::vector<std::jthread> threads;
     threads.reserve(options.connections);
     for (std::uint32_t c = 0; c < options.connections; ++c) {
-      const std::uint64_t quota = options.ops / options.connections +
-                                  (c < options.ops % options.connections ? 1 : 0);
-      threads.emplace_back(run_connection, std::cref(options), c, quota, seeds[c], t0,
-                           &results[c]);
+      threads.emplace_back(run_connection, std::cref(options), std::cref(workload), c,
+                           quotas[c], seeds[c], t0, &results[c]);
     }
   }
   const double elapsed_ns = ns_since(t0);
