@@ -19,17 +19,31 @@
 // pipelined connections spread by SO_REUSEPORT flow hash across N loops
 // (docs/EXPERIMENTS.md interprets the shape; the knee sits at the
 // machine's core count, so a 1-core runner shows a flat series).
+// BM_DeployRtTiles/{1,2,4} is the cross-process series: one complete
+// multi-process deployment per iteration — fork the worker tiles, count
+// kDeployOps through the workspace-resident plan, merge and check — against
+// BM_DeployRtInProc/{2,4,8}, the same plan and op count driven by the same
+// total number of plain threads in one process. The gap between the two is
+// the price of process isolation (fork/boot, shm attach, the commit-after-
+// record history discipline); docs/EXPERIMENTS.md interprets it.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "deploy/counter_deploy.h"
+#include "rt/network_counter.h"
 #include "run/backend.h"
+#include "run/workload.h"
 #include "svc/client.h"
 #include "svc/server.h"
+#include "topo/builders.h"
 
 namespace {
 
@@ -155,6 +169,66 @@ BENCHMARK(BM_SvcRtLoops)
     ->Arg(8)
     ->Threads(8)
     ->UseRealTime();
+
+// --- cross-process deployment vs in-process threads ------------------------
+
+constexpr std::uint64_t kDeployOps = 100000;
+constexpr std::uint32_t kDeployBatch = 16;
+constexpr std::uint32_t kThreadsPerTile = 2;
+
+/// One full deployment per iteration: fork tiles, count kDeployOps through
+/// the workspace-resident plan, merge and check. Boot cost is part of the
+/// measurement — deployments that cannot amortize their fork/attach cost
+/// over the run should look expensive here.
+void BM_DeployRtTiles(benchmark::State& state) {
+  deploy::DeployOptions options;
+  options.spec = run::parse_spec_or_die("rt:bitonic:8?threads=64&ws=bench-deploy");
+  options.tiles = static_cast<std::uint32_t>(state.range(0));
+  options.threads_per_tile = kThreadsPerTile;
+  options.total_ops = kDeployOps;
+  options.batch = kDeployBatch;
+  for (auto _ : state) {
+    const deploy::DeployReport report = deploy::run_counter_deployment(options);
+    if (!report.ok) {
+      state.SkipWithError(report.error.empty() ? report.counting_message.c_str()
+                                               : report.error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report.ops_recorded);
+  }
+  state.SetItemsProcessed(state.iterations() * kDeployOps);
+}
+BENCHMARK(BM_DeployRtTiles)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// The in-process twin: the same plan, op count, and batch size, driven by
+/// Arg(0) plain threads in this process (== tiles x threads_per_tile of the
+/// matching BM_DeployRtTiles point). No fork, no shm, no history records —
+/// the ceiling the deployment pays isolation against.
+void BM_DeployRtInProc(benchmark::State& state) {
+  const auto n_threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    rt::NetworkCounter counter(topo::make_bitonic(8));
+    const std::vector<std::uint64_t> quotas = run::issuer_quotas(kDeployOps, n_threads);
+    std::vector<std::jthread> threads;
+    threads.reserve(n_threads);
+    for (std::uint32_t t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&counter, quota = quotas[t], t] {
+        std::uint64_t values[kDeployBatch];
+        for (std::uint64_t done = 0; done < quota;) {
+          const auto n = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(kDeployBatch, quota - done));
+          counter.next_batch(t, t % counter.network().input_width(),
+                             std::span<std::uint64_t>(values, n));
+          done += n;
+        }
+      });
+    }
+    threads.clear();  // join
+    benchmark::DoNotOptimize(counter.issued());
+  }
+  state.SetItemsProcessed(state.iterations() * kDeployOps);
+}
+BENCHMARK(BM_DeployRtInProc)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -131,11 +131,12 @@ echo "wrote $svc_out ($(python3 -c "import json;print(len(json.load(open('$svc_o
 # The svc series is an ablation: both sides of the batched/unbatched pair
 # must be present for either backend's number to mean anything — and the
 # loops-scaling series must be there too, or the multi-loop claim in
-# docs/SERVICE.md has no number behind it.
+# docs/SERVICE.md has no number behind it. Same for the deployment pair:
+# tiles-over-shm without its in-process twin is a number with no baseline.
 python3 - "$svc_out" <<'EOF'
 import json, sys
 required = ["BM_SvcRtBatched", "BM_SvcRtUnbatched", "BM_SvcMpBatched", "BM_SvcMpUnbatched",
-            "BM_SvcRtLoops"]
+            "BM_SvcRtLoops", "BM_DeployRtTiles", "BM_DeployRtInProc"]
 with open(sys.argv[1]) as f:
     names = {b["name"] for b in json.load(f)["benchmarks"]}
 missing = [r for r in required if not any(n.startswith(r) for n in names)]

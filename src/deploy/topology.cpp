@@ -1,0 +1,212 @@
+#include "deploy/topology.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cnet::deploy {
+namespace {
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = "deploy topology: " + why;
+  return false;
+}
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+const char* map_mode_name(MapMode mode) {
+  switch (mode) {
+    case MapMode::kReadOnly: return "ro";
+    case MapMode::kReadWrite: return "rw";
+  }
+  return "?";
+}
+
+const ObjectSpec* Topology::find_object(const std::string& name) const {
+  for (const ObjectSpec& obj : objects) {
+    if (obj.name == name) return &obj;
+  }
+  return nullptr;
+}
+
+const TileSpec* Topology::find_tile(const std::string& name) const {
+  for (const TileSpec& tile : tiles) {
+    if (tile.name == name) return &tile;
+  }
+  return nullptr;
+}
+
+std::string Topology::to_text() const {
+  std::string s;
+  for (const WorkspaceSpec& ws : workspaces) {
+    s += "workspace " + ws.name + " (" + std::to_string(ws.data_footprint) + " bytes)\n";
+    for (const ObjectSpec& obj : objects) {
+      if (obj.workspace != ws.name) continue;
+      s += "  object " + obj.name + " align=" + std::to_string(obj.align) +
+           " footprint=" + std::to_string(obj.footprint) +
+           (obj.multi_writer ? " multi-writer" : "") + "\n";
+    }
+  }
+  for (const TileSpec& tile : tiles) {
+    s += "tile " + tile.name + " threads=[" + std::to_string(tile.thread_base) + "," +
+         std::to_string(tile.thread_base + tile.thread_count) + ")";
+    for (const TileUse& use : tile.uses) {
+      s += " " + use.object + ":" + map_mode_name(use.mode);
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+Builder& Builder::workspace(std::string name) {
+  draft_.workspaces.push_back(WorkspaceSpec{std::move(name), 0});
+  return *this;
+}
+
+Builder& Builder::object(std::string name, std::string wksp, std::uint64_t align,
+                         std::uint64_t footprint, bool multi_writer) {
+  draft_.objects.push_back(
+      ObjectSpec{std::move(name), std::move(wksp), align, footprint, multi_writer});
+  return *this;
+}
+
+Builder& Builder::tile(std::string name, std::uint32_t thread_base,
+                       std::uint32_t thread_count) {
+  draft_.tiles.push_back(TileSpec{std::move(name), thread_base, thread_count, {}});
+  return *this;
+}
+
+Builder& Builder::uses(std::string object, MapMode mode) {
+  if (draft_.tiles.empty()) {
+    saw_use_before_tile_ = true;
+    return *this;
+  }
+  draft_.tiles.back().uses.push_back(TileUse{std::move(object), mode});
+  return *this;
+}
+
+bool Builder::finish(Topology* out, std::string* error) {
+  if (saw_use_before_tile_) return fail(error, "uses() before any tile()");
+
+  // Workspaces: unique names (shm::Workspace re-validates the charset).
+  std::set<std::string> ws_names;
+  for (const WorkspaceSpec& ws : draft_.workspaces) {
+    if (!ws_names.insert(ws.name).second) {
+      return fail(error, "workspace '" + ws.name + "' declared twice");
+    }
+  }
+
+  // Objects: unique names, known workspace, shm-acceptable align/footprint,
+  // and per-workspace bump-allocator accounting (placement order =
+  // declaration order, the order materialize() allocs in).
+  std::map<std::string, std::uint64_t> ws_cursor;
+  std::map<std::string, std::uint32_t> ws_objects;
+  std::set<std::string> obj_names;
+  for (const ObjectSpec& obj : draft_.objects) {
+    if (!obj_names.insert(obj.name).second) {
+      return fail(error, "object '" + obj.name + "' placed twice");
+    }
+    if (ws_names.find(obj.workspace) == ws_names.end()) {
+      return fail(error,
+                  "object '" + obj.name + "' names unknown workspace '" + obj.workspace + "'");
+    }
+    if (obj.align == 0 || (obj.align & (obj.align - 1)) != 0 ||
+        obj.align > shm::kMaxObjectAlign) {
+      return fail(error, "object '" + obj.name + "' align " + std::to_string(obj.align) +
+                             " must be a power of two <= " +
+                             std::to_string(shm::kMaxObjectAlign));
+    }
+    if (obj.footprint == 0) {
+      return fail(error, "object '" + obj.name + "' has zero footprint");
+    }
+    if (++ws_objects[obj.workspace] > shm::kMaxObjects) {
+      return fail(error, "workspace '" + obj.workspace + "' exceeds " +
+                             std::to_string(shm::kMaxObjects) + " objects");
+    }
+    std::uint64_t& cursor = ws_cursor[obj.workspace];
+    cursor = align_up(cursor, obj.align) + obj.footprint;
+  }
+  for (WorkspaceSpec& ws : draft_.workspaces) {
+    ws.data_footprint = ws_cursor[ws.name];
+    if (ws.data_footprint == 0) {
+      return fail(error, "workspace '" + ws.name + "' holds no objects");
+    }
+  }
+
+  // Tiles: unique names, non-empty pairwise-disjoint thread slices, and
+  // well-formed uses lists.
+  std::set<std::string> tile_names;
+  std::map<std::string, std::uint32_t> writers;
+  std::map<std::string, std::uint32_t> mappers;
+  for (std::size_t i = 0; i < draft_.tiles.size(); ++i) {
+    const TileSpec& tile = draft_.tiles[i];
+    if (!tile_names.insert(tile.name).second) {
+      return fail(error, "tile '" + tile.name + "' declared twice");
+    }
+    if (tile.thread_count == 0) {
+      return fail(error, "tile '" + tile.name + "' has an empty thread slice");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const TileSpec& other = draft_.tiles[j];
+      const bool disjoint = tile.thread_base >= other.thread_base + other.thread_count ||
+                            other.thread_base >= tile.thread_base + tile.thread_count;
+      if (!disjoint) {
+        return fail(error, "tiles '" + other.name + "' and '" + tile.name +
+                               "' have overlapping thread slices");
+      }
+    }
+    std::set<std::string> seen;
+    for (const TileUse& use : tile.uses) {
+      if (obj_names.find(use.object) == obj_names.end()) {
+        return fail(error,
+                    "tile '" + tile.name + "' uses unknown object '" + use.object + "'");
+      }
+      if (!seen.insert(use.object).second) {
+        return fail(error,
+                    "tile '" + tile.name + "' uses object '" + use.object + "' twice");
+      }
+      ++mappers[use.object];
+      if (use.mode == MapMode::kReadWrite) ++writers[use.object];
+    }
+  }
+
+  // Mode consistency: every object reachable, every object written by
+  // exactly one tile unless it opted into multi-writer.
+  for (const ObjectSpec& obj : draft_.objects) {
+    if (mappers[obj.name] == 0) {
+      return fail(error, "object '" + obj.name + "' is mapped by no tile");
+    }
+    const std::uint32_t w = writers[obj.name];
+    if (w == 0) {
+      return fail(error, "object '" + obj.name + "' has no read-write mapper");
+    }
+    if (w > 1 && !obj.multi_writer) {
+      return fail(error, "object '" + obj.name + "' has " + std::to_string(w) +
+                             " writers but is not marked multi-writer");
+    }
+  }
+
+  *out = std::move(draft_);
+  draft_ = Topology{};
+  return true;
+}
+
+bool materialize(const Topology& topo, std::map<std::string, shm::Workspace>* out,
+                 std::string* error) {
+  out->clear();
+  for (const WorkspaceSpec& ws : topo.workspaces) {
+    shm::Workspace workspace;
+    if (!shm::Workspace::create(ws.name, ws.data_footprint, &workspace, error)) return false;
+    out->emplace(ws.name, std::move(workspace));
+  }
+  for (const ObjectSpec& obj : topo.objects) {
+    shm::Workspace& ws = out->at(obj.workspace);
+    if (ws.alloc(obj.name, obj.align, obj.footprint, error) == nullptr) return false;
+  }
+  return true;
+}
+
+}  // namespace cnet::deploy

@@ -1,0 +1,120 @@
+// Process/workspace topology: which shared-memory objects exist, which
+// *tiles* (processes) map them, and in what mode — declared up front,
+// validated before anything boots, then materialized into shm::Workspaces.
+//
+// Naming note: this is NOT cnet::topo. `topo::Network` is the paper's
+// balancing-network *wiring diagram* — balancers and wires, the math
+// object. `cnet::deploy` is the *deployment* topology — workspaces,
+// objects, and the processes that map them, in the style of firedancer's
+// fd_topob builder. A deployment runs one topo::Network whose compiled
+// state happens to live in one of these workspaces (docs/DEPLOY.md).
+//
+// The builder idiom mirrors fd_topob: declare workspaces, place objects in
+// them with align/footprint discipline, declare tiles with their rt
+// thread-id slices, then declare which objects each tile uses and how.
+// finish() validates the whole graph (every object placed exactly once and
+// mapped by at least one tile with exactly one writer unless marked
+// multi-writer, footprints fit, thread slices pairwise disjoint — PR 7's
+// slice discipline across processes) and computes each workspace's data
+// footprint with the same bump-allocator arithmetic shm::Workspace will
+// use, so "fits" here means "will not fail at alloc time" there.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shm/workspace.h"
+
+namespace cnet::deploy {
+
+/// How a tile maps an object. The mode is a declaration checked at
+/// validation time (writer counting), not an mprotect — all tiles share
+/// one PROT_READ|PROT_WRITE mapping of the workspace.
+enum class MapMode : std::uint8_t {
+  kReadOnly,
+  kReadWrite,
+};
+
+const char* map_mode_name(MapMode mode);
+
+struct WorkspaceSpec {
+  std::string name;
+  /// Filled by Builder::finish(): bytes of object data this workspace must
+  /// hold, bump-allocator arithmetic included.
+  std::uint64_t data_footprint = 0;
+};
+
+struct ObjectSpec {
+  std::string name;
+  std::string workspace;
+  std::uint64_t align = 0;
+  std::uint64_t footprint = 0;
+  /// True for objects that are concurrently written by design (the rt plan
+  /// state, control blocks): more than one kReadWrite mapper is then legal.
+  /// False (default) enforces the single-writer discipline: exactly one
+  /// tile maps the object kReadWrite (per-tile history slices).
+  bool multi_writer = false;
+};
+
+struct TileUse {
+  std::string object;
+  MapMode mode = MapMode::kReadOnly;
+};
+
+struct TileSpec {
+  std::string name;
+  /// This tile's rt thread-id slice: ids [thread_base, thread_base +
+  /// thread_count). Slices must be pairwise disjoint across tiles — the
+  /// cross-process version of the per-loop slices svc::Server hands out.
+  std::uint32_t thread_base = 0;
+  std::uint32_t thread_count = 0;
+  std::vector<TileUse> uses;
+};
+
+/// The validated deployment graph. Build with Builder; read-only after.
+struct Topology {
+  std::vector<WorkspaceSpec> workspaces;
+  std::vector<ObjectSpec> objects;
+  std::vector<TileSpec> tiles;
+
+  const ObjectSpec* find_object(const std::string& name) const;
+  const TileSpec* find_tile(const std::string& name) const;
+
+  /// Multi-line rendering of workspaces/objects/tiles for logs and tests.
+  std::string to_text() const;
+};
+
+/// fd_topob-style declarative builder. Methods record declarations and
+/// return *this for chaining; all checking happens in finish() so a bad
+/// topology yields one diagnostic instead of an abort mid-declaration.
+class Builder {
+ public:
+  Builder& workspace(std::string name);
+  /// Places `name` in workspace `wksp` (declaration order = placement
+  /// order). `multi_writer` per ObjectSpec::multi_writer.
+  Builder& object(std::string name, std::string wksp, std::uint64_t align,
+                  std::uint64_t footprint, bool multi_writer = false);
+  /// Declares a tile owning rt thread ids [thread_base, thread_base+count).
+  Builder& tile(std::string name, std::uint32_t thread_base, std::uint32_t thread_count);
+  /// Declares that the most recently declared tile maps `object` in `mode`.
+  Builder& uses(std::string object, MapMode mode);
+
+  /// Validates the declarations and emits the topology. On failure returns
+  /// false with a one-line diagnostic naming the offending declaration.
+  bool finish(Topology* out, std::string* error);
+
+ private:
+  Topology draft_;
+  bool saw_use_before_tile_ = false;
+};
+
+/// Creates every workspace (memfd-backed) and places every object, in
+/// declaration order, exactly as validated. On success `out` maps
+/// workspace name -> live Workspace whose fds the supervisor passes to
+/// forked tiles.
+bool materialize(const Topology& topo, std::map<std::string, shm::Workspace>* out,
+                 std::string* error);
+
+}  // namespace cnet::deploy

@@ -27,6 +27,15 @@ struct NetworkCounter::NodeState {
 };
 
 NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
+    : NetworkCounter(std::move(net), options, PlanArena{}) {}
+
+std::size_t NetworkCounter::plan_state_footprint(const topo::Network& net,
+                                                 const CounterOptions& options) {
+  return RoutingPlan::state_footprint(net, options);
+}
+
+NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options,
+                               const PlanArena& arena)
     : net_(std::move(net)), options_(options) {
 #if CNET_OBS
   // The guard watches the obs hop-latency estimator, so it only exists when
@@ -36,9 +45,12 @@ NetworkCounter::NetworkCounter(topo::Network net, CounterOptions options)
   }
 #endif
   if (options_.engine == ExecutionEngine::kCompiledPlan) {
-    plan_ = std::make_unique<RoutingPlan>(net_, options_);
+    plan_ = std::make_unique<RoutingPlan>(net_, options_, arena);
     return;
   }
+  // The graph walk keeps pointer-chasing per-node state; it has no flat
+  // SoA block to relocate, so an arena makes no sense there.
+  CNET_CHECK_MSG(arena.base == nullptr, "PlanArena requires the compiled-plan engine");
 
   std::uint32_t auto_width = options_.prism_width;
   if (auto_width == 0) {

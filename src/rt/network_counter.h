@@ -50,7 +50,19 @@ class NetworkCounter {
  public:
   /// Takes a copy of the topology, so the counter is self-contained.
   explicit NetworkCounter(topo::Network net, CounterOptions options = {});
+
+  /// As above with the compiled plan's shared balancer state placed in
+  /// `arena` (rt::PlanArena; must be plan_state_footprint() bytes at
+  /// RoutingPlan::state_align()). Compiled-plan engine only — this is how a
+  /// workspace-resident counter is shared by worker processes (see
+  /// deploy/counter_deploy.h).
+  NetworkCounter(topo::Network net, CounterOptions options, const PlanArena& arena);
   ~NetworkCounter();
+
+  /// Bytes of shared state the compiled plan for (net, options) places in
+  /// its arena; deterministic across processes on one host.
+  static std::size_t plan_state_footprint(const topo::Network& net,
+                                          const CounterOptions& options = {});
 
   NetworkCounter(const NetworkCounter&) = delete;
   NetworkCounter& operator=(const NetworkCounter&) = delete;

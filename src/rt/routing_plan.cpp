@@ -1,6 +1,8 @@
 #include "rt/routing_plan.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <new>
 #include <thread>
 
 #include "obs/backend_metrics.h"
@@ -29,13 +31,64 @@ Rng& prism_rng() {
 
 }  // namespace detail
 
-RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options)
-    : input_width_(net.input_width()), output_width_(net.output_width()) {
-  std::uint32_t auto_width = options.prism_width;
-  if (auto_width == 0) {
-    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-    auto_width = std::min(8u, std::max(2u, hw / 8));
+namespace {
+
+/// The root prism width the options ask for, with auto sizing resolved.
+/// Deterministic per machine (hardware_concurrency), so cooperating
+/// processes on one host compute identical prism layouts.
+std::uint32_t effective_prism_width(const CounterOptions& options) {
+  if (options.prism_width != 0) return options.prism_width;
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(8u, std::max(2u, hw / 8));
+}
+
+}  // namespace
+
+RoutingPlan::StateLayout RoutingPlan::compute_layout(const topo::Network& net,
+                                                     const CounterOptions& options) {
+  const std::uint32_t auto_width = effective_prism_width(options);
+  StateLayout layout;
+  for (topo::NodeId id = 0; id < net.node_count(); ++id) {
+    const topo::Node& node = net.node(id);
+    if (node.is_pass_through()) continue;
+    if (options.diffraction && node.fan_in == 1 && node.fan_out == 2) {
+      ++layout.n_prisms;
+      layout.n_slots += prism_width_for_layer(auto_width, node.layer);
+    } else if (options.mode == BalancerMode::kMcsLocked) {
+      ++layout.n_mcs;
+    } else {
+      ++layout.n_toggles;
+    }
   }
+  // Every element type is alignas(kCacheLine) with a cache-line-multiple
+  // size, so packing the sections back to back keeps them all aligned.
+  std::size_t cursor = 0;
+  layout.toggle_off = cursor;
+  cursor += layout.n_toggles * sizeof(ToggleState);
+  layout.mcs_off = cursor;
+  cursor += layout.n_mcs * sizeof(McsState);
+  layout.prism_off = cursor;
+  cursor += layout.n_prisms * sizeof(PrismCounter);
+  layout.slots_off = cursor;
+  cursor += layout.n_slots * sizeof(Padded<std::atomic<std::uint64_t>>);
+  layout.outputs_off = cursor;
+  cursor += net.output_width() * sizeof(Padded<std::atomic<std::uint64_t>>);
+  layout.total = cursor;
+  return layout;
+}
+
+std::size_t RoutingPlan::state_footprint(const topo::Network& net,
+                                         const CounterOptions& options) {
+  return compute_layout(net, options).total;
+}
+
+RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options)
+    : RoutingPlan(net, options, PlanArena{}) {}
+
+RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options,
+                         const PlanArena& arena)
+    : input_width_(net.input_width()), output_width_(net.output_width()) {
+  const std::uint32_t auto_width = effective_prism_width(options);
 
   const auto n_nodes = static_cast<std::uint32_t>(net.node_count());
   kind_.resize(n_nodes);
@@ -63,15 +116,48 @@ RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options
       state_idx_[id] = n_toggles++;
     }
   }
-  if (n_toggles != 0) toggles_ = std::make_unique<ToggleState[]>(n_toggles);
-  if (n_mcs != 0) mcs_ = std::make_unique<McsState[]>(n_mcs);
+  // Home the shared state: a caller-provided arena (workspace deployment)
+  // or a private cache-line-aligned heap block (the in-process default).
+  const StateLayout layout = compute_layout(net, options);
+  CNET_CHECK_MSG(layout.n_toggles == n_toggles && layout.n_mcs == n_mcs &&
+                     layout.n_prisms == n_prisms && layout.n_slots == n_slots,
+                 "state layout disagrees with node classification");
+  std::byte* base = nullptr;
+  bool construct = true;
+  if (arena.base == nullptr) {
+    owned_ = ::operator new(layout.total == 0 ? 1 : layout.total,
+                            std::align_val_t{kCacheLine});
+    base = static_cast<std::byte*>(owned_);
+  } else {
+    CNET_CHECK_MSG(arena.size >= layout.total, "PlanArena smaller than state_footprint()");
+    CNET_CHECK_MSG(reinterpret_cast<std::uintptr_t>(arena.base) % state_align() == 0,
+                   "PlanArena base not state_align()-aligned");
+    base = static_cast<std::byte*>(arena.base);
+    construct = !arena.attach;
+  }
+  if (n_toggles != 0) toggles_ = reinterpret_cast<ToggleState*>(base + layout.toggle_off);
+  if (n_mcs != 0) mcs_ = reinterpret_cast<McsState*>(base + layout.mcs_off);
   if (n_prisms != 0) {
-    prisms_ = std::make_unique<PrismState[]>(n_prisms);
-    prism_slots_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(n_slots);
+    prism_counts_ = reinterpret_cast<PrismCounter*>(base + layout.prism_off);
+    prism_slots_ =
+        reinterpret_cast<Padded<std::atomic<std::uint64_t>>*>(base + layout.slots_off);
+  }
+  outputs_ = reinterpret_cast<Padded<std::atomic<std::uint64_t>>*>(base + layout.outputs_off);
+  if (construct) {
+    for (std::uint32_t i = 0; i < n_toggles; ++i) new (&toggles_[i]) ToggleState();
+    for (std::uint32_t i = 0; i < n_mcs; ++i) new (&mcs_[i]) McsState();
+    for (std::uint32_t i = 0; i < n_prisms; ++i) new (&prism_counts_[i]) PrismCounter();
+    for (std::uint32_t i = 0; i < n_slots; ++i) {
+      new (&prism_slots_[i]) Padded<std::atomic<std::uint64_t>>();
+    }
+    for (std::uint32_t i = 0; i < output_width_; ++i) {
+      new (&outputs_[i]) Padded<std::atomic<std::uint64_t>>();
+    }
   }
 
   // Pass 2: flatten the wiring into the packed successor table and fill the
-  // prism descriptors.
+  // (process-local) prism descriptors.
+  prism_descs_.resize(n_prisms);
   std::uint32_t slot_cursor = 0;
   for (topo::NodeId id = 0; id < n_nodes; ++id) {
     const topo::Node& node = net.node(id);
@@ -80,7 +166,7 @@ RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options
       succ_.push_back(link.node == topo::kNoNode ? (kOutputBit | link.port) : link.node);
     }
     if (kind_[id] == Kind::kPrism) {
-      PrismState& prism = prisms_[state_idx_[id]];
+      PrismDesc& prism = prism_descs_[state_idx_[id]];
       prism.slot_offset = slot_cursor;
       prism.width = prism_width_for_layer(auto_width, node.layer);
       prism.spin = options.prism_spin;
@@ -117,8 +203,6 @@ RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options
     }
   }
 
-  outputs_ = std::make_unique<Padded<std::atomic<std::uint64_t>>[]>(output_width_);
-
 #if CNET_OBS
   if (options.metrics != nullptr) {
     metrics_ = options.metrics;
@@ -127,7 +211,12 @@ RoutingPlan::RoutingPlan(const topo::Network& net, const CounterOptions& options
 #endif
 }
 
-RoutingPlan::~RoutingPlan() = default;
+RoutingPlan::~RoutingPlan() {
+  // Every state element is trivially destructible (atomics and the MCS
+  // tail pointer), so only the owned block itself needs releasing; an
+  // arena-resident plan leaves the shared state to outlive it.
+  if (owned_ != nullptr) ::operator delete(owned_, std::align_val_t{kCacheLine});
+}
 
 std::uint32_t RoutingPlan::traverse(std::uint32_t node, std::uint32_t thread_id) {
   switch (kind_[node]) {
@@ -149,12 +238,13 @@ std::uint32_t RoutingPlan::traverse(std::uint32_t node, std::uint32_t thread_id)
       return static_cast<std::uint32_t>(t % fan_out_[node]);
     }
     case Kind::kPrism:
-      return traverse_prism(prisms_[state_idx_[node]], thread_id);
+      return traverse_prism(state_idx_[node], thread_id);
   }
   CNET_CHECK_MSG(false, "unreachable");
 }
 
-std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t thread_id) {
+std::uint32_t RoutingPlan::traverse_prism(std::uint32_t prism_idx, std::uint32_t thread_id) {
+  const PrismDesc& state = prism_descs_[prism_idx];
   // Same protocol as the graph walk: collision-race losses retry; an expired
   // camping window falls through to the toggle.
 #if CNET_OBS
@@ -207,7 +297,8 @@ std::uint32_t RoutingPlan::traverse_prism(PrismState& state, std::uint32_t threa
   }
 
   count_outcome(false);
-  const std::uint64_t t = state.count.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t t =
+      prism_counts_[prism_idx].count.fetch_add(1, std::memory_order_acq_rel);
   return static_cast<std::uint32_t>(t & 1);
 }
 
@@ -342,6 +433,11 @@ void RoutingPlan::next_batch_hooked(std::uint32_t thread_id, std::uint32_t input
     const auto port = static_cast<std::uint32_t>(value);
     value = port + port_next[port]++ * w;
   }
+}
+
+std::uint64_t RoutingPlan::output_count(std::uint32_t port) const {
+  CNET_CHECK(port < output_width_);
+  return outputs_[port]->load(std::memory_order_acquire);
 }
 
 std::uint64_t RoutingPlan::issued() const {

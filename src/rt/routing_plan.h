@@ -101,6 +101,25 @@ struct CounterOptions {
 /// delay harness injects the paper's W-cycle waits through this).
 using NodeHook = void (*)(void* ctx);
 
+/// Caller-provided home for a plan's shared balancer state (toggles, MCS
+/// counts, prism fallback counters and slots, exit-port counters). The
+/// arena must be at least RoutingPlan::state_footprint() bytes, aligned to
+/// RoutingPlan::state_align() — a shm::Workspace object qualifies, which is
+/// how one compiled plan is driven by N worker processes (see
+/// deploy/counter_deploy.h). Default-constructed ({}) means "no arena":
+/// the plan owns a private cache-line-aligned heap block, which is the
+/// in-process production configuration and behaves identically.
+struct PlanArena {
+  void* base = nullptr;  ///< null = plan-owned heap allocation
+  std::size_t size = 0;
+  /// false: construct (zero) the state in place — the first process, or any
+  /// in-process use. true: adopt state another process already constructed
+  /// in the same arena (same network, same options): offsets are recomputed
+  /// locally and the live atomics are left untouched, which is what a
+  /// restarted tile does after re-attaching its workspace.
+  bool attach = false;
+};
+
 /// Prism slot width for a node at 1-based layer `layer` given the root
 /// width: halves per layer, floors at 2. Layer 0 (a node a builder left
 /// unlayered) is treated as layer 1 rather than shifting by (0u - 1).
@@ -125,7 +144,20 @@ class RoutingPlan {
   /// Compiles `net` (copied; the plan is self-contained) for the given
   /// options. `options.engine` is ignored — a plan *is* the compiled engine.
   explicit RoutingPlan(const topo::Network& net, const CounterOptions& options = {});
+
+  /// As above, but the shared balancer state lives in `arena` instead of a
+  /// plan-owned heap block (see PlanArena). The compiled topology tables
+  /// stay process-local either way — only the mutable state is placed.
+  RoutingPlan(const topo::Network& net, const CounterOptions& options, const PlanArena& arena);
   ~RoutingPlan();
+
+  /// Bytes of shared state a plan compiled from (net, options) places into
+  /// its arena. Deterministic: every process that computes the same
+  /// (net, options) computes the same footprint and internal offsets.
+  static std::size_t state_footprint(const topo::Network& net,
+                                     const CounterOptions& options = {});
+  /// Required arena alignment.
+  static constexpr std::size_t state_align() { return kCacheLine; }
 
   RoutingPlan(const RoutingPlan&) = delete;
   RoutingPlan& operator=(const RoutingPlan&) = delete;
@@ -157,6 +189,11 @@ class RoutingPlan {
   /// in quiescence.
   std::uint64_t issued() const;
 
+  /// Tokens that exited via output `port` so far — the ground truth for
+  /// step-property checks when some claimed values never made it into a
+  /// history (a SIGKILLed worker tile).
+  std::uint64_t output_count(std::uint32_t port) const;
+
   /// True when traversal runs the hoisted homogeneous fetch-add/fan-out-2
   /// loop (exposed for tests and bench labels).
   bool homogeneous_toggle_fan2() const { return homogeneous_toggle_fan2_; }
@@ -171,18 +208,33 @@ class RoutingPlan {
     McsLock lock;
     std::atomic<std::uint64_t> count{0};
   };
-  struct alignas(kCacheLine) PrismState {
-    std::atomic<std::uint64_t> count{0};  ///< fall-back toggle
-    std::uint32_t slot_offset = 0;        ///< into prism_slots_
+  /// Shared (arena-resident) half of a prism: just the fall-back toggle.
+  struct alignas(kCacheLine) PrismCounter {
+    std::atomic<std::uint64_t> count{0};
+  };
+  /// Immutable prism descriptor, kept process-local (an attaching process
+  /// must not rewrite non-atomic fields while peers are routing).
+  struct PrismDesc {
+    std::uint32_t slot_offset = 0;  ///< into prism_slots_
     std::uint32_t width = 0;
     std::uint32_t spin = 0;
   };
+
+  /// Arena section offsets: where each per-kind state array lives relative
+  /// to the arena base. Pure function of (net, options) — see
+  /// state_footprint()'s determinism contract.
+  struct StateLayout {
+    std::uint32_t n_toggles = 0, n_mcs = 0, n_prisms = 0, n_slots = 0;
+    std::size_t toggle_off = 0, mcs_off = 0, prism_off = 0, slots_off = 0, outputs_off = 0;
+    std::size_t total = 0;
+  };
+  static StateLayout compute_layout(const topo::Network& net, const CounterOptions& options);
 
   /// Packed hop: node index, or kOutputBit | network output port.
   static constexpr std::uint32_t kOutputBit = 0x80000000u;
 
   std::uint32_t traverse(std::uint32_t node, std::uint32_t thread_id);
-  std::uint32_t traverse_prism(PrismState& state, std::uint32_t thread_id);
+  std::uint32_t traverse_prism(std::uint32_t prism_idx, std::uint32_t thread_id);
   std::uint32_t route(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
                       void* ctx);
   std::uint32_t route_instrumented(std::uint32_t thread_id, std::uint32_t input,
@@ -203,12 +255,18 @@ class RoutingPlan {
   std::vector<std::uint32_t> succ_fast_;   ///< succ_ with pass chains resolved
   std::vector<std::uint32_t> entry_fast_;  ///< entry_ with pass chains resolved
 
-  // --- balancer state, dense per kind ------------------------------------
-  std::unique_ptr<ToggleState[]> toggles_;
-  std::unique_ptr<McsState[]> mcs_;
-  std::unique_ptr<PrismState[]> prisms_;
-  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> prism_slots_;
-  std::unique_ptr<Padded<std::atomic<std::uint64_t>>[]> outputs_;
+  // --- balancer state, dense per kind, in one arena block -----------------
+  // Raw pointers into either `owned_` (default: private heap block) or a
+  // caller-provided PlanArena (workspace deployment). Section order is
+  // toggles | mcs | prism counters | prism slots | outputs, per
+  // compute_layout(). Prism descriptors stay process-local.
+  ToggleState* toggles_ = nullptr;
+  McsState* mcs_ = nullptr;
+  PrismCounter* prism_counts_ = nullptr;
+  Padded<std::atomic<std::uint64_t>>* prism_slots_ = nullptr;
+  Padded<std::atomic<std::uint64_t>>* outputs_ = nullptr;
+  void* owned_ = nullptr;  ///< set iff the plan allocated its own arena
+  std::vector<PrismDesc> prism_descs_;
 };
 
 }  // namespace cnet::rt

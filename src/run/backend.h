@@ -29,6 +29,7 @@
 #include "rt/network_counter.h"
 #include "run/backend_spec.h"
 #include "run/workload.h"
+#include "shm/workspace.h"
 #include "topo/network.h"
 
 namespace cnet::run {
@@ -183,6 +184,10 @@ class RtBackend final : public CountingBackend {
   std::unique_ptr<obs::CounterMetrics> owned_metrics_;
   obs::CounterMetrics* metrics_ = nullptr;
   std::unique_ptr<fault::Injector> fault_;  ///< set iff the spec carries a plan
+  /// Live iff the spec asked for workspace placement (`ws=`): the counter's
+  /// plan state then lives in this named shared segment instead of the
+  /// heap. Declared before counter_ — the arena must outlive the plan.
+  shm::Workspace workspace_;
   rt::NetworkCounter counter_;
 };
 

@@ -184,9 +184,32 @@ bool apply_rt_option(const Parser& p, const Option& opt, BackendSpec* spec) {
     }
     return p.fail("option 'degrade' takes pad|report (got '" + std::string(opt.value) + "')");
   }
+  if (opt.key == "ws") {
+    if (opt.value.empty() || opt.value.size() > 40) {
+      return p.fail("option 'ws' takes a workspace name of 1-40 chars (got '" +
+                    std::string(opt.value) + "')");
+    }
+    for (const char c : opt.value) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+      if (!ok) {
+        return p.fail("option 'ws' allows [A-Za-z0-9_.-] (got '" + std::string(opt.value) +
+                      "')");
+      }
+    }
+    spec->ws = std::string(opt.value);
+    return true;
+  }
+  if (opt.key == "tiles") {
+    if (!parse_u32(opt.value, &spec->tiles) || spec->tiles == 0 || spec->tiles > 32) {
+      return p.fail("option 'tiles' takes a worker-process count in [1, 32] (got '" +
+                    std::string(opt.value) + "')");
+    }
+    return true;
+  }
   return p.fail("unknown rt option '" + std::string(opt.key) +
-                "' (valid: engine, diffraction, mcs, prism, threads, degrade, pad, metrics, "
-                "fault)");
+                "' (valid: engine, diffraction, mcs, prism, threads, degrade, ws, tiles, pad, "
+                "metrics, fault)");
 }
 
 bool apply_psim_option(const Parser& p, const Option& opt, BackendSpec* spec) {
@@ -281,13 +304,29 @@ bool validate_combination(const Parser& p, BackendSpec* spec) {
     // none, so accepting the flag there would silently do nothing.
     return p.fail("option 'diffraction' requires the tree structure");
   }
+  if (spec->tiles != 0 && spec->ws.empty()) {
+    return p.fail("option 'tiles' requires ws=<name> (worker processes share state "
+                  "through a workspace)");
+  }
+  if (!spec->ws.empty() && spec->engine_walk) {
+    return p.fail("option 'ws' requires the compiled plan (engine=walk has no "
+                  "relocatable state)");
+  }
   if (spec->fault.any() && spec->family != Family::kMp) {
     // Token stalls exist everywhere a token traverses links; the other
     // clauses name mp-specific machinery (workers to pause, deliveries to
-    // delay, clients that can abandon a token and let it fly on).
-    if (spec->fault.has_pauses() || spec->fault.has_deaths() || spec->fault.has_delays()) {
+    // delay, clients that can abandon a token and let it fly on) — except
+    // that an rt *deployment* (tiles=) realizes die: as a real SIGKILL of
+    // a worker process (deploy/counter_deploy.h).
+    const bool rt_deploy_death =
+        spec->family == Family::kRt && spec->tiles != 0 && spec->fault.has_deaths() &&
+        !spec->fault.has_pauses() && !spec->fault.has_delays() && !spec->fault.has_stalls();
+    if (!rt_deploy_death &&
+        (spec->fault.has_pauses() || spec->fault.has_deaths() || spec->fault.has_delays())) {
       return p.fail("fault clauses pause/die/delay apply to mp only (" +
-                    std::string(family_name(spec->family)) + " supports stall)");
+                    std::string(family_name(spec->family)) +
+                    " supports stall; rt with ws=&tiles= additionally supports die as a "
+                    "real process kill)");
     }
   }
   if (spec->degrade != DegradeMode::kOff && !spec->metrics) {
@@ -415,6 +454,8 @@ std::string BackendSpec::to_string() const {
       }
       if (degrade == DegradeMode::kPad) opts.push_back("degrade=pad");
       if (degrade == DegradeMode::kReport) opts.push_back("degrade=report");
+      if (!ws.empty()) opts.push_back("ws=" + ws);
+      if (tiles != defaults.tiles) opts.push_back("tiles=" + std::to_string(tiles));
       break;
     case Family::kPsim:
       if (procs != defaults.procs) opts.push_back("procs=" + std::to_string(procs));

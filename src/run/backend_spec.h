@@ -94,6 +94,15 @@ struct BackendSpec {
   /// `degrade=pad|report`: degraded-mode guard policy (rt only; requires
   /// metrics=on, since the guard watches the obs c2/c1 estimator).
   DegradeMode degrade = DegradeMode::kOff;
+  /// `ws=<name>`: place the compiled plan's shared balancer state in a
+  /// named shm::Workspace instead of the process heap (rt compiled plan
+  /// only). In-process runs behave identically; this is the knob that
+  /// makes the state relocatable for `cnet_cli deploy` (deploy/).
+  std::string ws;
+  /// `tiles=<n>`: worker processes for a deployment (requires ws=; the
+  /// deploy layer validates the full combination, see
+  /// deploy::validate_deploy_spec).
+  std::uint32_t tiles = 0;
 
   // -- psim -----------------------------------------------------------
   /// `procs=<n>`: simulated processors; 0 = take Workload::threads.

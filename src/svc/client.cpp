@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "svc/uds.h"
+
 namespace cnet::svc {
 
 namespace {
@@ -43,6 +45,24 @@ bool Client::connect(const std::string& host, std::uint16_t port, std::string* e
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);  // best effort
+  return true;
+}
+
+bool Client::connect_uds(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  socklen_t len = 0;
+  if (!fill_uds_addr(path, &addr, &len, error)) return false;
+  fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket(AF_UNIX): " + std::string(std::strerror(errno)));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    set_error(error, "connect(" + path + "): " + std::strerror(errno));
+    close();
+    return false;
+  }
   return true;
 }
 

@@ -29,6 +29,10 @@ class Client {
   /// Connects (blocking) and sets TCP_NODELAY. False with a diagnostic in
   /// *error on failure.
   bool connect(const std::string& host, std::uint16_t port, std::string* error);
+  /// Connects to a UNIX-domain server (the `--uds` transport; a leading
+  /// '@' names an abstract-namespace socket). Same contract as connect();
+  /// no TCP_NODELAY — AF_UNIX has no Nagle to disable.
+  bool connect_uds(const std::string& path, std::string* error);
   void close();
   bool connected() const { return fd_ >= 0; }
 

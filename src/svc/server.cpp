@@ -1,18 +1,22 @@
 #include "svc/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstddef>
 #include <cstring>
 #include <unordered_map>
 
+#include "svc/uds.h"
 #include "util/assert.h"
 
 namespace cnet::svc {
@@ -99,6 +103,33 @@ int make_listener(const std::string& host, std::uint16_t* port, std::string* err
       return fail("getsockname(): " + std::string(std::strerror(errno)));
     }
     *port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+/// Creates THE nonblocking AF_UNIX listener (one per server — see
+/// ServerOptions::uds_path; the loops share it via dup()). A stale
+/// filesystem socket left by a crashed server is unlinked first.
+int make_uds_listener(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  socklen_t len = 0;
+  if (!fill_uds_addr(path, &addr, &len, error)) return -1;
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = "socket(AF_UNIX): " + std::string(std::strerror(errno));
+    return -1;
+  }
+  const auto fail = [&](const std::string& message) {
+    *error = message;
+    ::close(fd);
+    return -1;
+  };
+  if (path[0] != '@') ::unlink(path.c_str());
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    return fail("bind(" + path + "): " + std::strerror(errno));
+  }
+  if (listen(fd, 1024) != 0) {
+    return fail("listen(" + path + "): " + std::string(std::strerror(errno)));
   }
   return fd;
 }
@@ -574,21 +605,40 @@ bool Server::start(std::string* error) {
   }
   CNET_CHECK_MSG(loop_threads_.empty(), "Server::start called twice");
 
-  // One SO_REUSEPORT listener per loop, all on the same port: the first
-  // bind resolves an ephemeral port request, the rest join it.
-  std::uint16_t bound_port = options_.port;
   std::vector<int> listeners;
   listeners.reserve(n_loops);
-  for (std::uint32_t i = 0; i < n_loops; ++i) {
+  if (!options_.uds_path.empty()) {
+    // AF_UNIX: one listener, dup()'d into every loop — SO_REUSEPORT does
+    // not spread UNIX-domain connections, so the loops share the accept
+    // queue instead. Each loop owns (and closes) its own duplicate.
     std::string listen_error;
-    const int fd = make_listener(options_.host, &bound_port, &listen_error);
-    if (fd < 0) {
-      for (int open_fd : listeners) ::close(open_fd);
-      return fail(listen_error);
-    }
+    const int fd = make_uds_listener(options_.uds_path, &listen_error);
+    if (fd < 0) return fail(listen_error);
     listeners.push_back(fd);
+    for (std::uint32_t i = 1; i < n_loops; ++i) {
+      const int dup_fd = fcntl(fd, F_DUPFD_CLOEXEC, 0);
+      if (dup_fd < 0) {
+        for (int open_fd : listeners) ::close(open_fd);
+        return fail("dup of uds listener failed: " + std::string(std::strerror(errno)));
+      }
+      listeners.push_back(dup_fd);
+    }
+    port_ = 0;
+  } else {
+    // One SO_REUSEPORT listener per loop, all on the same port: the first
+    // bind resolves an ephemeral port request, the rest join it.
+    std::uint16_t bound_port = options_.port;
+    for (std::uint32_t i = 0; i < n_loops; ++i) {
+      std::string listen_error;
+      const int fd = make_listener(options_.host, &bound_port, &listen_error);
+      if (fd < 0) {
+        for (int open_fd : listeners) ::close(open_fd);
+        return fail(listen_error);
+      }
+      listeners.push_back(fd);
+    }
+    port_ = bound_port;
   }
-  port_ = bound_port;
 
   // Disjoint thread-id slices: loop i issues with ids in
   // [i*slots, (i+1)*slots), keeping rt's uniqueness contract across loops.
@@ -619,6 +669,9 @@ void Server::stop() {
   for (auto& thread : loop_threads_) thread.join();
   loop_threads_.clear();
   loops_.clear();  // closes every fd; shards_ stay for post-stop stats()
+  if (!options_.uds_path.empty() && options_.uds_path[0] != '@') {
+    ::unlink(options_.uds_path.c_str());  // best effort; abstract names vanish themselves
+  }
 }
 
 Server::Stats Server::stats() const {

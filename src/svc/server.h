@@ -88,6 +88,16 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound one via port()
 
+  /// Non-empty = serve a UNIX-domain stream socket at this path instead of
+  /// TCP (host/port are then ignored; port() reads 0). A leading '@' names
+  /// a Linux abstract-namespace socket (no filesystem entry, no unlink).
+  /// Unlike TCP, AF_UNIX has no SO_REUSEPORT connection spreading, so the
+  /// server binds ONE listener and hands every loop a dup() of it — loops
+  /// race on accept4 instead of being flow-hashed, which is fair enough on
+  /// a loopback-only transport. A stale filesystem socket from a dead
+  /// server is unlinked before bind; stop() unlinks the live one.
+  std::string uds_path;
+
   /// Independent event loops, each with its own SO_REUSEPORT listener on
   /// the same port. Defaults to the hardware concurrency (min 1). 0 is
   /// invalid — start() refuses it with a diagnostic rather than guessing.
@@ -149,8 +159,13 @@ class Server {
   void stop();
 
   /// The bound TCP port, shared by every loop's listener (the ephemeral
-  /// one when options.port == 0). Valid after a successful start().
+  /// one when options.port == 0). Valid after a successful start(); 0 when
+  /// serving a UNIX-domain socket.
   std::uint16_t port() const { return port_; }
+
+  /// The UNIX-domain socket path being served, empty on TCP. Valid after a
+  /// successful start().
+  const std::string& uds_path() const { return options_.uds_path; }
 
   /// The number of event loops actually serving (== options.loops).
   std::uint32_t loops() const { return static_cast<std::uint32_t>(loops_.size()); }

@@ -1,0 +1,31 @@
+#include "svc/uds.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace cnet::svc {
+
+bool fill_uds_addr(const std::string& path, sockaddr_un* addr, socklen_t* len,
+                   std::string* error) {
+  if (path.empty() || path.size() >= sizeof addr->sun_path) {
+    if (error != nullptr) {
+      *error = "uds path '" + path + "' must be 1.." +
+               std::to_string(sizeof addr->sun_path - 1) + " bytes";
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.data(), path.size());
+  if (path[0] == '@') {
+    // Abstract namespace: a leading NUL byte, and the length excludes any
+    // terminator — the name is exactly the bytes after the '@'.
+    addr->sun_path[0] = '\0';
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size());
+  } else {
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size() + 1);
+  }
+  return true;
+}
+
+}  // namespace cnet::svc

@@ -1,0 +1,20 @@
+// UNIX-domain address encoding shared by svc::Server (bind) and
+// svc::Client (connect), so both sides derive the same sockaddr_un bytes
+// from the same path string. The convention: a leading '@' names a Linux
+// abstract-namespace socket (leading NUL in sun_path, no filesystem entry,
+// length excludes any terminator); anything else is a filesystem path.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <string>
+
+namespace cnet::svc {
+
+/// Encodes `path` into `*addr`/`*len`; false (with a diagnostic in *error)
+/// when the path is empty or does not fit in sun_path.
+bool fill_uds_addr(const std::string& path, sockaddr_un* addr, socklen_t* len,
+                   std::string* error);
+
+}  // namespace cnet::svc

@@ -14,6 +14,12 @@
 // NetworkBuilder, which validates the wiring (everything connected exactly
 // once, acyclic) and precomputes the layer structure used by the uniformity
 // analysis (Def 2.1) and by the simulators.
+//
+// Naming note: cnet::topo is the balancing-network wiring diagram — the
+// math object. The *process* topology (which OS processes map which
+// shared-memory objects) is the separate cnet::deploy layer
+// (deploy/topology.h, docs/DEPLOY.md); a deployment executes one
+// topo::Network whose compiled state lives in a shm::Workspace.
 #pragma once
 
 #include <cstdint>

@@ -275,5 +275,51 @@ TEST(RunSpec, ParseSpecOrDieReturnsParsedSpec) {
   EXPECT_EQ(parse_spec_or_die("mp:tree:8?actors=3").actors, 3u);
 }
 
+// --- workspace / deployment options (ws=, tiles=) ---------------------------
+
+TEST(RunSpec, WorkspaceAndTilesParseAndRoundTrip) {
+  const BackendSpec ws = parse_ok("rt:bitonic:8?ws=counter-a");
+  EXPECT_EQ(ws.ws, "counter-a");
+  EXPECT_EQ(ws.tiles, 0u);
+
+  const BackendSpec deploy = parse_ok("rt:bitonic:8?ws=d.0&tiles=4&threads=16");
+  EXPECT_EQ(deploy.ws, "d.0");
+  EXPECT_EQ(deploy.tiles, 4u);
+
+  expect_round_trip("rt:bitonic:8?ws=counter-a");
+  expect_round_trip("rt:bitonic:8?threads=16&ws=d.0&tiles=4");
+  // to_string canonicalises the option order; parse(to_string()) is exact.
+  const BackendSpec reparsed = parse_spec_or_die(deploy.to_string());
+  EXPECT_EQ(reparsed.ws, deploy.ws);
+  EXPECT_EQ(reparsed.tiles, deploy.tiles);
+}
+
+TEST(RunSpec, WorkspaceOptionsAreRtOnlyAndValidated) {
+  // Family gate: ws/tiles configure the rt deployment path only.
+  parse_fail("mp:bitonic:8?ws=x");
+  parse_fail("sim:bitonic:8?tiles=2");
+  // tiles without a workspace has nothing to deploy into.
+  parse_fail("rt:bitonic:8?tiles=2");
+  // The graph-walk engine has no relocatable compiled state.
+  parse_fail("rt:bitonic:8?engine=walk&ws=x");
+  // Name discipline (shm charset) and tile bounds.
+  parse_fail("rt:bitonic:8?ws=");
+  parse_fail("rt:bitonic:8?ws=bad name");
+  parse_fail("rt:bitonic:8?ws=" + std::string(64, 'a'));
+  parse_fail("rt:bitonic:8?ws=x&tiles=0");
+  parse_fail("rt:bitonic:8?ws=x&tiles=33");
+  parse_fail("rt:bitonic:8?ws=x&tiles=nope");
+}
+
+TEST(RunSpec, DieFaultsAreLegalOnlyForDeployments) {
+  // In-process rt has no one to SIGKILL; with ws=&tiles= the deploy layer
+  // realizes die: as a real process kill.
+  parse_fail("rt:bitonic:8?fault=die:100");
+  const BackendSpec deploy =
+      parse_ok("rt:bitonic:8?threads=16&ws=x&tiles=2&fault=die:100");
+  EXPECT_TRUE(deploy.fault.has_deaths());
+  expect_round_trip("rt:bitonic:8?threads=16&ws=x&tiles=2&fault=die:100");
+}
+
 }  // namespace
 }  // namespace cnet::run

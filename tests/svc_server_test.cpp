@@ -6,6 +6,7 @@
 #include "svc/server.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <memory>
@@ -33,7 +34,7 @@ double ns_since(Clock::time_point t0) {
 /// operations share the window's start/end times, the same convention as
 /// the runner's batched issue.
 lin::History run_clients(std::uint16_t port, std::uint32_t clients, std::uint32_t ops,
-                         std::uint32_t window) {
+                         std::uint32_t window, const std::string& uds = "") {
   lin::History merged;
   std::mutex merge_mutex;
   const Clock::time_point t0 = Clock::now();
@@ -43,7 +44,9 @@ lin::History run_clients(std::uint16_t port, std::uint32_t clients, std::uint32_
     threads.emplace_back([&, c] {
       Client client;
       std::string error;
-      ASSERT_TRUE(client.connect("127.0.0.1", port, &error)) << error;
+      const bool connected = uds.empty() ? client.connect("127.0.0.1", port, &error)
+                                         : client.connect_uds(uds, &error);
+      ASSERT_TRUE(connected) << error;
       lin::History local;
       local.reserve(ops);
       std::uint64_t id = static_cast<std::uint64_t>(c) << 40;
@@ -360,6 +363,73 @@ TEST(SvcServer, StopDrainsWithoutStrayFrames) {
     ++received;
   }
   EXPECT_EQ(received, 64u);
+}
+
+// --- UNIX-domain transport (--uds) ----------------------------------------
+
+TEST(SvcServer, UdsEndToEndSameContractAsTcp) {
+  const std::string path = testing::TempDir() + "cnet_svc_uds_" + std::to_string(getpid());
+  ServerOptions options;
+  options.uds_path = path;
+  options.loops = 2;  // loops share one dup()'d listener on AF_UNIX
+  ServerUnderTest s("rt:bitonic:8?threads=32", options);
+  ASSERT_TRUE(s.started) << s.start_error;
+  EXPECT_EQ(s.server->port(), 0);  // no TCP endpoint exists
+  EXPECT_EQ(s.server->uds_path(), path);
+
+  const lin::History history = run_clients(0, 4, 300, 8, path);
+  ASSERT_EQ(history.size(), 1200u);
+  check_history(history, s.backend->network().output_width());
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.responses_ok, 1200u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+
+  // stop() unlinks the socket file; the path must be reusable immediately.
+  s.server->stop();
+  Client reject;
+  std::string error;
+  EXPECT_FALSE(reject.connect_uds(path, &error));
+}
+
+TEST(SvcServer, UdsAbstractNamespaceNeedsNoFilesystemEntry) {
+  const std::string name = "@cnet_svc_abstract_" + std::to_string(getpid());
+  ServerOptions options;
+  options.uds_path = name;
+  options.loops = 1;
+  ServerUnderTest s("mp:tree:8?actors=2", options);
+  ASSERT_TRUE(s.started) << s.start_error;
+  const lin::History history = run_clients(0, 2, 200, 4, name);
+  ASSERT_EQ(history.size(), 400u);
+  check_history(history, s.backend->network().output_width());
+}
+
+TEST(SvcServer, UdsStaleSocketFromDeadServerIsReplaced) {
+  const std::string path = testing::TempDir() + "cnet_svc_stale_" + std::to_string(getpid());
+  ServerOptions options;
+  options.uds_path = path;
+  options.loops = 1;
+  {
+    ServerUnderTest first("rt:bitonic:8", options);
+    ASSERT_TRUE(first.started) << first.start_error;
+    // No stop(): the destructor path mimics an ungraceful exit enough to
+    // leave-or-remove the file; either way the next bind must succeed.
+  }
+  ServerUnderTest second("rt:bitonic:8", options);
+  ASSERT_TRUE(second.started) << second.start_error;
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_uds(path, &error)) << error;
+  Response response;
+  ASSERT_TRUE(client.count(1, &response, &error)) << error;
+  EXPECT_EQ(response.status, Status::kOk);
+}
+
+TEST(SvcServer, UdsRejectsOverlongPath) {
+  ServerOptions options;
+  options.uds_path = std::string(200, 'x');  // sun_path is ~108 bytes
+  ServerUnderTest s("rt:bitonic:8", options);
+  EXPECT_FALSE(s.started);
+  EXPECT_NE(s.start_error.find("uds path"), std::string::npos) << s.start_error;
 }
 
 TEST(SvcServer, MixedOpsConcurrentClients) {

@@ -33,13 +33,23 @@
 //       prints the metrics snapshot (docs/OBSERVABILITY.md), the busiest
 //       balancers, and the online c2/c1 estimate; optionally dumps a
 //       chrome://tracing JSON of sampled token hops
-//   cnet_cli serve <spec> [--port N] [--host A] [--loops N] [--unbatched]
-//                  [--max-batch N] [--max-pending N] [--shed-threshold X]
-//       serve the backend over TCP (docs/SERVICE.md protocol) until SIGINT,
-//       sharded over N independent event loops (default: the hardware
-//       concurrency); winds down gracefully — stops accepting, drains every
-//       loop, prints the merged serving stats — and exits 130, the same
-//       contract as an interrupted run
+//   cnet_cli serve <spec> [--port N] [--host A] [--uds PATH] [--loops N]
+//                  [--unbatched] [--max-batch N] [--max-pending N]
+//                  [--shed-threshold X]
+//       serve the backend over TCP (docs/SERVICE.md protocol) — or over a
+//       UNIX-domain socket with --uds — until SIGINT, sharded over N
+//       independent event loops (default: the hardware concurrency); winds
+//       down gracefully — stops accepting, drains every loop, prints the
+//       merged serving stats — and exits 130, the same contract as an
+//       interrupted run
+//   cnet_cli deploy <spec> [--tiles N] [--threads N] [--ops N] [--batch N]
+//                   [--max-restarts N] [--timeout S]
+//       multi-process deployment (docs/DEPLOY.md): the spec's `ws=` names a
+//       shared-memory workspace holding the compiled rt plan, worker-tile
+//       processes count through it, and a `fault=die:n` clause is realized
+//       as a real SIGKILL of a tile every n completed operations followed
+//       by a supervisor restart against the persistent workspace; prints
+//       the merged cross-process report with its honest guarantee
 //
 // Exit codes: 0 success, 1 a property check failed, 2 usage error (unknown
 // command, malformed spec or workload key), 130 run interrupted by SIGINT
@@ -56,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "deploy/counter_deploy.h"
 #include "obs/backend_metrics.h"
 #include "psim/machine.h"
 #include "run/backend.h"
@@ -90,8 +101,11 @@ int usage() {
       "                    [f=X] [wait=N] [seed=N]\n"
       "  cnet_cli count    <spec | kind width> <threads> <ops> [batch] [plan|walk]\n"
       "  cnet_cli stats    <spec | kind width> <threads> <ops> [batch] [trace.json]\n"
-      "  cnet_cli serve    <spec> [--port N] [--host A] [--loops N] [--unbatched]\n"
-      "                    [--max-batch N] [--max-pending N] [--shed-threshold X]\n"
+      "  cnet_cli serve    <spec> [--port N] [--host A] [--uds PATH] [--loops N]\n"
+      "                    [--unbatched] [--max-batch N] [--max-pending N]\n"
+      "                    [--shed-threshold X]\n"
+      "  cnet_cli deploy   <spec> [--tiles N] [--threads N] [--ops N] [--batch N]\n"
+      "                    [--max-restarts N] [--timeout S]\n"
       "spec grammar: <family>:<structure>:<width>[?opt[&opt]...]  (docs/HARNESS.md)\n"
       "  families: sim, psim, rt, mp   structures: bitonic, periodic, tree, balancer\n"
       "  e.g. rt:bitonic:32?engine=plan   psim:tree:64?mcs&procs=128\n");
@@ -332,6 +346,8 @@ int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
       options.port = static_cast<std::uint16_t>(std::atoi(value()));
     } else if (arg == "--host") {
       options.host = value();
+    } else if (arg == "--uds") {
+      options.uds_path = value();
     } else if (arg == "--loops") {
       const int loops = std::atoi(value());
       if (loops < 1) {
@@ -363,9 +379,12 @@ int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
-  std::printf("serving %s on %s:%u (%u loop%s, %s, max-batch %u, max-pending %u)\n",
-              spec.to_string().c_str(), options.host.c_str(), server.port(),
-              server.loops(), server.loops() == 1 ? "" : "s",
+  const std::string endpoint = options.uds_path.empty()
+                                   ? options.host + ":" + std::to_string(server.port())
+                                   : "uds " + options.uds_path;
+  std::printf("serving %s on %s (%u loop%s, %s, max-batch %u, max-pending %u)\n",
+              spec.to_string().c_str(), endpoint.c_str(), server.loops(),
+              server.loops() == 1 ? "" : "s",
               options.batching ? "batched" : "unbatched", options.max_batch,
               options.max_pending);
   std::fflush(stdout);
@@ -395,6 +414,52 @@ int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
               static_cast<unsigned long long>(stats.largest_batch),
               server.timing_tripped() ? "; timing shed LATCHED" : "");
   return 130;
+}
+
+int cmd_deploy(const run::BackendSpec& spec, int argc, char** argv, int base) {
+  deploy::DeployOptions options;
+  options.spec = spec;
+  for (int i = base; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tiles") {
+      options.tiles = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--threads") {
+      options.threads_per_tile = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--ops") {
+      options.total_ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--batch") {
+      options.batch = std::max(1u, static_cast<std::uint32_t>(std::atoi(value())));
+    } else if (arg == "--max-restarts") {
+      options.max_restarts = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--timeout") {
+      options.timeout_s = std::atof(value());
+    } else {
+      std::fprintf(stderr, "unknown deploy option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  const std::uint32_t tiles = options.tiles != 0    ? options.tiles
+                              : options.spec.tiles != 0 ? options.spec.tiles
+                                                        : 2;
+  std::string error;
+  if (!deploy::validate_deploy_spec(options.spec, tiles, options.threads_per_tile, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  const deploy::DeployReport report = deploy::run_counter_deployment(options);
+  if (!report.ok && !report.error.empty()) {
+    std::fprintf(stderr, "%s", report.to_text().c_str());
+    return 2;
+  }
+  std::fputs(report.to_text().c_str(), stdout);
+  return report.ok ? 0 : 1;
 }
 
 int cmd_stats(const run::BackendSpec& spec, const run::Workload& workload,
@@ -515,6 +580,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return cmd_serve(parse_spec_or_exit(kind), argc, argv, 3);
+  }
+  if (command == "deploy") {
+    return cmd_deploy(parse_spec_or_exit(kind), argc, argv, 3);
   }
   if (command == "run") {
     const run::BackendSpec spec = parse_spec_or_exit(kind);

@@ -18,6 +18,7 @@
 //   cnet_loadgen --port N [--host A] [--connections N] [--ops N]
 //                [--rate OPS_PER_SEC] [--deadline-ns D --deadline-fraction F]
 //                [--seed S] [--check]
+//   cnet_loadgen --uds PATH [same options]    # UNIX-domain transport
 //
 // --check verifies the counting property over the wire: every kOk value
 // distinct, and together forming a gapless range when the generator is the
@@ -47,6 +48,7 @@ using Clock = std::chrono::steady_clock;
 struct Options {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  std::string uds_path;  ///< non-empty = connect over AF_UNIX instead of TCP
   std::uint32_t connections = 8;
   std::uint64_t ops = 20000;
   double rate = 200000.0;  ///< aggregate ops/s across all connections
@@ -58,8 +60,8 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cnet_loadgen --port N [--host A] [--connections N] [--ops N]\n"
-               "                    [--rate OPS_PER_SEC] [--deadline-ns D]\n"
+               "usage: cnet_loadgen --port N | --uds PATH  [--host A] [--connections N]\n"
+               "                    [--ops N] [--rate OPS_PER_SEC] [--deadline-ns D]\n"
                "                    [--deadline-fraction F] [--seed S] [--check]\n");
   return 2;
 }
@@ -86,7 +88,11 @@ void run_connection(const Options& options, const run::Workload& workload,
                     std::uint32_t conn_id, std::uint64_t quota, std::uint64_t seed,
                     Clock::time_point t0, ConnResult* result) {
   svc::Client client;
-  if (!client.connect(options.host, options.port, &result->error)) return;
+  const bool connected =
+      options.uds_path.empty()
+          ? client.connect(options.host, options.port, &result->error)
+          : client.connect_uds(options.uds_path, &result->error);
+  if (!connected) return;
 
   run::OpenLoopPacer pacer(workload, seed);
   Rng mix(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -178,6 +184,8 @@ int main(int argc, char** argv) {
       options.host = value();
     } else if (arg == "--port") {
       options.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--uds") {
+      options.uds_path = value();
     } else if (arg == "--connections") {
       options.connections = std::max(1, std::atoi(value()));
     } else if (arg == "--ops") {
@@ -196,7 +204,7 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (options.port == 0 || options.rate <= 0.0) return usage();
+  if ((options.port == 0 && options.uds_path.empty()) || options.rate <= 0.0) return usage();
   if (options.deadline_fraction > 0.0 && options.deadline_ns == 0) {
     std::fprintf(stderr, "--deadline-fraction needs --deadline-ns > 0\n");
     return 2;
