@@ -8,8 +8,10 @@
 # engine comparison (lock-free fast path vs locked oracle, bitonic + tree,
 # 1..8 client threads) into BENCH_mp.json; and the service boundary-batching
 # ablation (batched vs textbook per-request loop over real loopback TCP, 8
-# connections; see docs/SERVICE.md) into BENCH_svc.json. Pass different
-# output paths as $1..$4.
+# connections; see docs/SERVICE.md) plus the link/pipeline series (raw shm
+# ring ping/pong, pipelined deployments vs the per-op socketpair ablation;
+# see docs/DEPLOY.md) into BENCH_svc.json. Pass different output paths as
+# $1..$4.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -122,21 +124,44 @@ if missing:
     sys.exit(f"benchmark series missing from {sys.argv[1]}: {', '.join(missing)}")
 EOF
 
+tmp_svc=$(mktemp) tmp_link=$(mktemp)
+trap 'rm -f "$tmp_rt" "$tmp_psim" "$tmp_svc" "$tmp_link"' EXIT
+
 build/bench/throughput_svc \
   --benchmark_min_time="$min_time" \
-  --benchmark_format=json >"$svc_out"
+  --benchmark_format=json >"$tmp_svc"
+build/bench/throughput_link \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json >"$tmp_link"
+
+# Merge the link/pipeline series into the svc snapshot: one context block,
+# concatenated benchmark arrays — the pipelined deployment belongs next to
+# the tiles-vs-in-process numbers it is compared against.
+python3 - "$tmp_svc" "$tmp_link" "$svc_out" <<'EOF'
+import json, sys
+svc, link, out = sys.argv[1:4]
+with open(svc) as f: a = json.load(f)
+with open(link) as f: b = json.load(f)
+a["benchmarks"].extend(b["benchmarks"])
+with open(out, "w") as f:
+    json.dump(a, f, indent=1)
+    f.write("\n")
+EOF
 tag_build_type "$svc_out"
 echo "wrote $svc_out ($(python3 -c "import json;print(len(json.load(open('$svc_out'))['benchmarks']))") benchmarks)"
 
 # The svc series is an ablation: both sides of the batched/unbatched pair
 # must be present for either backend's number to mean anything — and the
 # loops-scaling series must be there too, or the multi-loop claim in
-# docs/SERVICE.md has no number behind it. Same for the deployment pair:
-# tiles-over-shm without its in-process twin is a number with no baseline.
+# docs/SERVICE.md has no number behind it. Same for the deployment pairs:
+# tiles-over-shm without its in-process twin, or the pipelined run without
+# its per-op socketpair ablation and raw ping/pong floor, is a number with
+# no baseline.
 python3 - "$svc_out" <<'EOF'
 import json, sys
 required = ["BM_SvcRtBatched", "BM_SvcRtUnbatched", "BM_SvcMpBatched", "BM_SvcMpUnbatched",
-            "BM_SvcRtLoops", "BM_DeployRtTiles", "BM_DeployRtInProc"]
+            "BM_SvcRtLoops", "BM_DeployRtTiles", "BM_DeployRtInProc",
+            "BM_LinkPingPong", "BM_DeployRtPipeline", "BM_DeployRtPipelineSock"]
 with open(sys.argv[1]) as f:
     names = {b["name"] for b in json.load(f)["benchmarks"]}
 missing = [r for r in required if not any(n.startswith(r) for n in names)]

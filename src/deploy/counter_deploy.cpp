@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "deploy/deploy_internal.h"
 #include "deploy/supervisor.h"
 #include "deploy/topology.h"
 #include "rt/routing_plan.h"
@@ -22,72 +23,20 @@
 namespace cnet::deploy {
 namespace {
 
-constexpr std::uint32_t kMaxTiles = 32;
-constexpr char kPlanObj[] = "rt.plan";
-constexpr char kCtlObj[] = "deploy.ctl";
-constexpr char kCursorObj[] = "deploy.cursors";
-
-std::string hist_name(std::uint32_t tile) { return "tile" + std::to_string(tile) + ".hist"; }
-
-std::uint64_t now_ns() {
-  timespec ts{};
-  ::clock_gettime(CLOCK_MONOTONIC, &ts);
-  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
-         static_cast<std::uint64_t>(ts.tv_nsec);
-}
-
-enum TileState : std::uint32_t { kBoot = 0, kReady = 1, kDone = 2 };
-
-struct alignas(64) TileSlot {
-  std::atomic<std::uint32_t> state{kBoot};
-};
-
-/// hold sentinel: no kill pending, workers run free.
-inline constexpr std::uint64_t kNoHold = ~0ull;
-
-/// Workspace-resident run control. Written by the supervisor (go/stop/hold)
-/// and by every tile (its own slot) — multi-writer by design.
-///
-/// `hold` makes the die: schedule deterministic instead of best-effort: it
-/// is the next kill watermark (in globally committed ops), and workers
-/// refuse to issue past it until the supervisor has delivered the SIGKILL
-/// and advanced it. Without the rendezvous a fast run can complete inside
-/// one supervisor sampling window and a scheduled kill silently never
-/// happens (observed on a 1-core box).
-struct ControlBlock {
-  std::atomic<std::uint32_t> go{0};
-  std::atomic<std::uint32_t> stop{0};
-  std::atomic<std::uint64_t> hold{kNoHold};
-  TileSlot tiles[kMaxTiles];
-};
-
-/// One per (tile, thread): how many of that thread's operations are fully
-/// recorded in its history slice. The commit-after-record discipline makes
-/// this the crash-consistency watermark — everything below it is a whole,
-/// valid record no matter when the tile died.
-struct alignas(64) StreamCursor {
-  std::atomic<std::uint64_t> committed{0};
-};
-
-/// One completed operation in a tile's history slice. Plain (non-atomic)
-/// fields: visibility is guarded by the owning StreamCursor's
-/// release-store, and only the one owning thread ever writes a slice.
-struct OpRecord {
-  std::uint64_t start_ns = 0;
-  std::uint64_t end_ns = 0;
-  std::uint64_t value = 0;
-  std::uint32_t actor = 0;
-  std::uint32_t pad_ = 0;
-};
-
-rt::CounterOptions counter_options(const run::BackendSpec& spec) {
-  rt::CounterOptions options;
-  options.mode = rt::BalancerMode::kFetchAdd;  // validate_deploy_spec rejected mcs
-  options.diffraction = false;
-  options.max_threads = spec.max_threads;
-  options.engine = rt::ExecutionEngine::kCompiledPlan;
-  return options;
-}
+using detail::ControlBlock;
+using detail::OpRecord;
+using detail::StreamCursor;
+using detail::counter_options;
+using detail::hist_name;
+using detail::kBoot;
+using detail::kCtlObj;
+using detail::kCursorObj;
+using detail::kDone;
+using detail::kMaxTiles;
+using detail::kNoHold;
+using detail::kPlanObj;
+using detail::kReady;
+using detail::now_ns;
 
 /// Blocks while the globally committed count sits at/past the supervisor's
 /// kill watermark — someone is owed a SIGKILL before anyone proceeds. The
@@ -231,6 +180,7 @@ bool validate_deploy_spec(const run::BackendSpec& spec, std::uint32_t tiles,
 }
 
 DeployReport run_counter_deployment(const DeployOptions& options) {
+  if (options.pipeline || options.spec.pipeline) return run_pipeline_deployment(options);
   DeployReport report;
   const std::uint32_t tiles = options.tiles != 0          ? options.tiles
                               : options.spec.tiles != 0   ? options.spec.tiles
@@ -521,6 +471,11 @@ std::string DeployReport::to_text() const {
   }
   s += "deploy: " + std::to_string(tiles) + " tiles x " + std::to_string(threads_per_tile) +
        " threads\n";
+  if (pipelined) {
+    s += "  pipeline:   ingress -> counter -> record over ";
+    s += per_op_ablation ? "per-op socketpairs" : "shm links";
+    s += "; " + std::to_string(dup_requests) + " dup requests dropped\n";
+  }
   s += "  guarantee:  ";
   s += guarantee == Guarantee::kLinearizable ? "linearizable-candidate (no kills)"
                                              : "counting-only (lossy; kills occurred)";

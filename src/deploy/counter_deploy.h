@@ -42,6 +42,22 @@ struct DeployOptions {
   /// Restart budget: deaths beyond this (expected or not) fail the run.
   std::uint32_t max_restarts = 8;
   double timeout_s = 60.0;
+
+  /// Pipelined run mode (run_pipeline_deployment): `tiles` ingress tiles
+  /// batch token *requests* into credit-based shared-memory links, one
+  /// counter tile drains them through the shared plan, one record tile
+  /// commits histories. Requires threads_per_tile == 1 (each pipeline tile
+  /// is a single stage loop). Also switched on by spec `pipeline=1`.
+  bool pipeline = false;
+  /// Transport ablation for the pipeline: kLink is the shm ring;
+  /// kSocketPair reruns the same 3-stage topology over per-operation
+  /// SOCK_SEQPACKET handoffs (clean runs only) so benchmarks can price the
+  /// isolation tax with the transport as the only variable.
+  enum class PipeTransport : std::uint8_t { kLink, kSocketPair };
+  PipeTransport transport = PipeTransport::kLink;
+  /// Link geometry (link::RingOptions::depth/burst) for pipeline mode.
+  std::uint32_t link_depth = 128;
+  std::uint32_t link_burst = 32;
 };
 
 struct DeployReport {
@@ -74,6 +90,11 @@ struct DeployReport {
   double makespan_ns = 0.0;
   double throughput_ops_s = 0.0;
 
+  /// Pipeline-mode extras (zero/false on classic runs).
+  bool pipelined = false;
+  bool per_op_ablation = false;    ///< ran the socketpair transport, not links
+  std::uint64_t dup_requests = 0;  ///< at-least-once replays dropped by record
+
   std::string to_text() const;
 };
 
@@ -92,7 +113,21 @@ bool validate_deploy_spec(const run::BackendSpec& spec, std::uint32_t tiles,
 /// boots the tiles, runs `total_ops` operations through the shared plan,
 /// delivers and recovers from SIGKILLs per the spec's `die:` plan, merges
 /// the per-tile histories, and checks the result. Must be called from a
-/// single-threaded process (fork).
+/// single-threaded process (fork). Dispatches to run_pipeline_deployment
+/// when options.pipeline or spec `pipeline=1` is set.
 DeployReport run_counter_deployment(const DeployOptions& options);
+
+/// The pipelined deployment: `tiles` ingress processes publish batched
+/// token requests into credit-based shm links (link::Ring), one counter
+/// process drains them through the workspace-resident plan, one record
+/// process commits per-stream histories — requests stay in flight across
+/// stages instead of paying a synchronous handoff per operation. Links are
+/// reliable end to end; a `die:` SIGKILL can still vaporize in-flight
+/// frags, which the report accounts against kills x 2 x batch (request +
+/// response legs) and downgrades to counting-only exactly like the classic
+/// runner. options.transport == kSocketPair swaps the shm links for per-op
+/// SOCK_SEQPACKET handoffs (same topology, clean runs only) as the
+/// benchmark ablation.
+DeployReport run_pipeline_deployment(const DeployOptions& options);
 
 }  // namespace cnet::deploy

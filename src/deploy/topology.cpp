@@ -6,11 +6,6 @@
 namespace cnet::deploy {
 namespace {
 
-bool fail(std::string* error, const std::string& why) {
-  if (error != nullptr) *error = "deploy topology: " + why;
-  return false;
-}
-
 std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
   return (value + align - 1) & ~(align - 1);
 }
@@ -23,6 +18,21 @@ const char* map_mode_name(MapMode mode) {
     case MapMode::kReadWrite: return "rw";
   }
   return "?";
+}
+
+link::RingOptions LinkSpec::ring_options() const {
+  link::RingOptions o;
+  o.depth = depth;
+  o.burst = burst;
+  o.mtu = mtu;
+  o.consumers = 0;
+  o.reliable_mask = 0;
+  for (const TileLinkUse& use : uses) {
+    if (use.dir != LinkDir::kIn) continue;
+    if (use.reliable) o.reliable_mask |= 1u << use.consumer_index;
+    ++o.consumers;
+  }
+  return o;
 }
 
 const ObjectSpec* Topology::find_object(const std::string& name) const {
@@ -39,6 +49,13 @@ const TileSpec* Topology::find_tile(const std::string& name) const {
   return nullptr;
 }
 
+const LinkSpec* Topology::find_link(const std::string& name) const {
+  for (const LinkSpec& link : links) {
+    if (link.name == name) return &link;
+  }
+  return nullptr;
+}
+
 std::string Topology::to_text() const {
   std::string s;
   for (const WorkspaceSpec& ws : workspaces) {
@@ -49,6 +66,17 @@ std::string Topology::to_text() const {
            " footprint=" + std::to_string(obj.footprint) +
            (obj.multi_writer ? " multi-writer" : "") + "\n";
     }
+  }
+  for (const LinkSpec& link : links) {
+    s += "link " + link.name + " producer=" + link.producer +
+         " depth=" + std::to_string(link.depth) + " burst=" + std::to_string(link.burst) +
+         " mtu=" + std::to_string(link.mtu);
+    for (const TileLinkUse& use : link.uses) {
+      if (use.dir == LinkDir::kIn) {
+        s += " " + use.tile + ":in" + (use.reliable ? "" : ":unreliable");
+      }
+    }
+    s += "\n";
   }
   for (const TileSpec& tile : tiles) {
     s += "tile " + tile.name + " threads=[" + std::to_string(tile.thread_base) + "," +
@@ -88,14 +116,107 @@ Builder& Builder::uses(std::string object, MapMode mode) {
   return *this;
 }
 
+Builder& Builder::link(std::string name, std::string wksp, std::string producer_tile,
+                       std::uint32_t depth, std::uint32_t burst, std::uint32_t mtu) {
+  LinkSpec spec;
+  spec.name = std::move(name);
+  spec.workspace = std::move(wksp);
+  spec.producer = std::move(producer_tile);
+  spec.depth = depth;
+  spec.burst = burst;
+  spec.mtu = mtu;
+  draft_.links.push_back(std::move(spec));
+  return *this;
+}
+
+Builder& Builder::uses_link(std::string tile, std::string name, LinkDir dir, bool reliable) {
+  link_uses_.push_back(TileLinkUse{std::move(tile), std::move(name), dir, reliable, 0});
+  return *this;
+}
+
 bool Builder::finish(Topology* out, std::string* error) {
-  if (saw_use_before_tile_) return fail(error, "uses() before any tile()");
+  // Every failure is collected, none short-circuits: a broken graph comes
+  // back with the full list so one edit-compile round fixes it. Checks
+  // after a failed prerequisite still run — their maps just treat the
+  // missing declaration as absent — so messages stay stable and specific.
+  std::vector<std::string> errors;
+  const auto bad = [&errors](std::string why) { errors.push_back(std::move(why)); };
+
+  if (saw_use_before_tile_) bad("uses() before any tile()");
+
+  // Links synthesize their backing object and tile mappings up front, so
+  // all of the plain-object machinery below (placement accounting, writer
+  // counting, reachability) validates them too.
+  std::set<std::string> link_names;
+  for (LinkSpec& link : draft_.links) {
+    if (!link_names.insert(link.name).second) {
+      bad("link '" + link.name + "' declared twice");
+      continue;
+    }
+    std::uint32_t consumer_index = 0;
+    bool producer_seen = false;
+    for (const TileLinkUse& use : link_uses_) {
+      if (use.link != link.name) continue;
+      TileLinkUse resolved = use;
+      if (use.dir == LinkDir::kOut) {
+        if (use.tile != link.producer) {
+          bad("link '" + link.name + "': tile '" + use.tile +
+              "' declares itself producer but the link names '" + link.producer + "'");
+          continue;
+        }
+        if (producer_seen) {
+          bad("link '" + link.name + "' has more than one producer use");
+          continue;
+        }
+        producer_seen = true;
+      } else {
+        resolved.consumer_index = consumer_index++;
+      }
+      link.uses.push_back(std::move(resolved));
+    }
+    if (!producer_seen) {
+      bad("link '" + link.name + "': producer tile '" + link.producer +
+          "' never declared uses_link(..., kOut)");
+    }
+    if (consumer_index == 0) bad("link '" + link.name + "' has no consumer");
+    if (consumer_index > link::kMaxConsumers) {
+      bad("link '" + link.name + "' has " + std::to_string(consumer_index) +
+          " consumers (max " + std::to_string(link::kMaxConsumers) + ")");
+    }
+    std::string ring_error;
+    const link::RingOptions ring = link.ring_options();
+    if (ring.consumers != 0 && !link::Ring::validate(ring, &ring_error)) {
+      bad("link '" + link.name + "': " + ring_error);
+    }
+    const std::uint64_t footprint = link::Ring::footprint(ring);
+    draft_.objects.push_back(ObjectSpec{link.object_name(), link.workspace,
+                                        link::Ring::align(),
+                                        std::max<std::uint64_t>(footprint, 1),
+                                        /*multi_writer=*/true});
+    for (const TileLinkUse& use : link.uses) {
+      for (TileSpec& tile : draft_.tiles) {
+        // Producer and consumers alike write the ring (frags vs credit
+        // lines) — every side maps it read-write.
+        if (tile.name == use.tile) tile.uses.push_back({link.object_name(), MapMode::kReadWrite});
+      }
+    }
+  }
+  for (const TileLinkUse& use : link_uses_) {
+    if (link_names.find(use.link) == link_names.end()) {
+      bad("tile '" + use.tile + "' uses unknown link '" + use.link + "'");
+    }
+    bool tile_known = false;
+    for (const TileSpec& tile : draft_.tiles) tile_known |= tile.name == use.tile;
+    if (!tile_known) {
+      bad("unknown tile '" + use.tile + "' uses link '" + use.link + "'");
+    }
+  }
 
   // Workspaces: unique names (shm::Workspace re-validates the charset).
   std::set<std::string> ws_names;
   for (const WorkspaceSpec& ws : draft_.workspaces) {
     if (!ws_names.insert(ws.name).second) {
-      return fail(error, "workspace '" + ws.name + "' declared twice");
+      bad("workspace '" + ws.name + "' declared twice");
     }
   }
 
@@ -107,24 +228,23 @@ bool Builder::finish(Topology* out, std::string* error) {
   std::set<std::string> obj_names;
   for (const ObjectSpec& obj : draft_.objects) {
     if (!obj_names.insert(obj.name).second) {
-      return fail(error, "object '" + obj.name + "' placed twice");
+      bad("object '" + obj.name + "' placed twice");
     }
     if (ws_names.find(obj.workspace) == ws_names.end()) {
-      return fail(error,
-                  "object '" + obj.name + "' names unknown workspace '" + obj.workspace + "'");
+      bad("object '" + obj.name + "' names unknown workspace '" + obj.workspace + "'");
     }
     if (obj.align == 0 || (obj.align & (obj.align - 1)) != 0 ||
         obj.align > shm::kMaxObjectAlign) {
-      return fail(error, "object '" + obj.name + "' align " + std::to_string(obj.align) +
-                             " must be a power of two <= " +
-                             std::to_string(shm::kMaxObjectAlign));
+      bad("object '" + obj.name + "' align " + std::to_string(obj.align) +
+          " must be a power of two <= " + std::to_string(shm::kMaxObjectAlign));
+      continue;  // cursor arithmetic below assumes a sane align
     }
     if (obj.footprint == 0) {
-      return fail(error, "object '" + obj.name + "' has zero footprint");
+      bad("object '" + obj.name + "' has zero footprint");
     }
     if (++ws_objects[obj.workspace] > shm::kMaxObjects) {
-      return fail(error, "workspace '" + obj.workspace + "' exceeds " +
-                             std::to_string(shm::kMaxObjects) + " objects");
+      bad("workspace '" + obj.workspace + "' exceeds " + std::to_string(shm::kMaxObjects) +
+          " objects");
     }
     std::uint64_t& cursor = ws_cursor[obj.workspace];
     cursor = align_up(cursor, obj.align) + obj.footprint;
@@ -132,7 +252,7 @@ bool Builder::finish(Topology* out, std::string* error) {
   for (WorkspaceSpec& ws : draft_.workspaces) {
     ws.data_footprint = ws_cursor[ws.name];
     if (ws.data_footprint == 0) {
-      return fail(error, "workspace '" + ws.name + "' holds no objects");
+      bad("workspace '" + ws.name + "' holds no objects");
     }
   }
 
@@ -144,29 +264,27 @@ bool Builder::finish(Topology* out, std::string* error) {
   for (std::size_t i = 0; i < draft_.tiles.size(); ++i) {
     const TileSpec& tile = draft_.tiles[i];
     if (!tile_names.insert(tile.name).second) {
-      return fail(error, "tile '" + tile.name + "' declared twice");
+      bad("tile '" + tile.name + "' declared twice");
     }
     if (tile.thread_count == 0) {
-      return fail(error, "tile '" + tile.name + "' has an empty thread slice");
+      bad("tile '" + tile.name + "' has an empty thread slice");
     }
     for (std::size_t j = 0; j < i; ++j) {
       const TileSpec& other = draft_.tiles[j];
       const bool disjoint = tile.thread_base >= other.thread_base + other.thread_count ||
                             other.thread_base >= tile.thread_base + tile.thread_count;
       if (!disjoint) {
-        return fail(error, "tiles '" + other.name + "' and '" + tile.name +
-                               "' have overlapping thread slices");
+        bad("tiles '" + other.name + "' and '" + tile.name +
+            "' have overlapping thread slices");
       }
     }
     std::set<std::string> seen;
     for (const TileUse& use : tile.uses) {
       if (obj_names.find(use.object) == obj_names.end()) {
-        return fail(error,
-                    "tile '" + tile.name + "' uses unknown object '" + use.object + "'");
+        bad("tile '" + tile.name + "' uses unknown object '" + use.object + "'");
       }
       if (!seen.insert(use.object).second) {
-        return fail(error,
-                    "tile '" + tile.name + "' uses object '" + use.object + "' twice");
+        bad("tile '" + tile.name + "' uses object '" + use.object + "' twice");
       }
       ++mappers[use.object];
       if (use.mode == MapMode::kReadWrite) ++writers[use.object];
@@ -177,20 +295,31 @@ bool Builder::finish(Topology* out, std::string* error) {
   // exactly one tile unless it opted into multi-writer.
   for (const ObjectSpec& obj : draft_.objects) {
     if (mappers[obj.name] == 0) {
-      return fail(error, "object '" + obj.name + "' is mapped by no tile");
+      bad("object '" + obj.name + "' is mapped by no tile");
+      continue;
     }
     const std::uint32_t w = writers[obj.name];
     if (w == 0) {
-      return fail(error, "object '" + obj.name + "' has no read-write mapper");
+      bad("object '" + obj.name + "' has no read-write mapper");
     }
     if (w > 1 && !obj.multi_writer) {
-      return fail(error, "object '" + obj.name + "' has " + std::to_string(w) +
-                             " writers but is not marked multi-writer");
+      bad("object '" + obj.name + "' has " + std::to_string(w) +
+          " writers but is not marked multi-writer");
     }
+  }
+
+  if (!errors.empty()) {
+    if (error != nullptr) {
+      std::string joined = "deploy topology: " + errors[0];
+      for (std::size_t i = 1; i < errors.size(); ++i) joined += "; " + errors[i];
+      *error = std::move(joined);
+    }
+    return false;
   }
 
   *out = std::move(draft_);
   draft_ = Topology{};
+  link_uses_.clear();
   return true;
 }
 
@@ -205,6 +334,16 @@ bool materialize(const Topology& topo, std::map<std::string, shm::Workspace>* ou
   for (const ObjectSpec& obj : topo.objects) {
     shm::Workspace& ws = out->at(obj.workspace);
     if (ws.alloc(obj.name, obj.align, obj.footprint, error) == nullptr) return false;
+  }
+  for (const LinkSpec& link : topo.links) {
+    shm::Workspace& ws = out->at(link.workspace);
+    std::uint64_t footprint = 0;
+    void* mem = ws.find(link.object_name(), &footprint);
+    link::Ring ring;
+    if (!link::Ring::create(mem, footprint, link.ring_options(), &ring, error)) {
+      if (error != nullptr) *error = "link '" + link.name + "': " + *error;
+      return false;
+    }
   }
   return true;
 }

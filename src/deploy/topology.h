@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "link/ring.h"
 #include "shm/workspace.h"
 
 namespace cnet::deploy {
@@ -63,6 +64,43 @@ struct TileUse {
   MapMode mode = MapMode::kReadOnly;
 };
 
+/// Which side of a link a tile sits on.
+enum class LinkDir : std::uint8_t {
+  kIn,   ///< consumer: polls frags, publishes its consumed seq
+  kOut,  ///< producer: publishes frags (exactly one per link)
+};
+
+/// One tile's attachment to a link (Builder::uses_link).
+struct TileLinkUse {
+  std::string tile;
+  std::string link;
+  LinkDir dir = LinkDir::kIn;
+  /// Consumers only: a reliable consumer's credit line gates the producer
+  /// (link::Ring flow control); an unreliable one can be overrun.
+  bool reliable = true;
+  /// Filled by finish(): this consumer's credit-line index (kIn declaration
+  /// order). Unused for kOut.
+  std::uint32_t consumer_index = 0;
+};
+
+/// A credit-based SPMC frag ring between tiles (link::Ring inside a
+/// workspace). finish() synthesizes the backing object "link.<name>" and
+/// the producer/consumer mappings, so footprint accounting and writer
+/// validation ride the same path as plain objects.
+struct LinkSpec {
+  std::string name;
+  std::string workspace;
+  std::string producer;  ///< tile that must own the single kOut use
+  std::uint32_t depth = 0;
+  std::uint32_t burst = 0;
+  std::uint32_t mtu = 0;
+  std::vector<TileLinkUse> uses;  ///< filled by finish(), declaration order
+  /// Ring geometry implied by the above (consumers/reliable_mask resolved
+  /// from the kIn uses); what materialize() formats the object with.
+  link::RingOptions ring_options() const;
+  std::string object_name() const { return "link." + name; }
+};
+
 struct TileSpec {
   std::string name;
   /// This tile's rt thread-id slice: ids [thread_base, thread_base +
@@ -78,9 +116,11 @@ struct Topology {
   std::vector<WorkspaceSpec> workspaces;
   std::vector<ObjectSpec> objects;
   std::vector<TileSpec> tiles;
+  std::vector<LinkSpec> links;
 
   const ObjectSpec* find_object(const std::string& name) const;
   const TileSpec* find_tile(const std::string& name) const;
+  const LinkSpec* find_link(const std::string& name) const;
 
   /// Multi-line rendering of workspaces/objects/tiles for logs and tests.
   std::string to_text() const;
@@ -100,20 +140,33 @@ class Builder {
   Builder& tile(std::string name, std::uint32_t thread_base, std::uint32_t thread_count);
   /// Declares that the most recently declared tile maps `object` in `mode`.
   Builder& uses(std::string object, MapMode mode);
+  /// Declares a credit-based SPMC link in workspace `wksp` whose single
+  /// producer is tile `producer_tile`. Geometry per link::RingOptions:
+  /// depth a power of two, burst the credit slack in [1, depth), mtu the
+  /// max frag payload. Consumers attach with uses_link(..., kIn, ...).
+  Builder& link(std::string name, std::string wksp, std::string producer_tile,
+                std::uint32_t depth, std::uint32_t burst, std::uint32_t mtu = 256);
+  /// Attaches `tile` to link `name`: kOut must come from the declared
+  /// producer (exactly once); each kIn claims the next credit-line index.
+  Builder& uses_link(std::string tile, std::string name, LinkDir dir, bool reliable = true);
 
   /// Validates the declarations and emits the topology. On failure returns
-  /// false with a one-line diagnostic naming the offending declaration.
+  /// false with a diagnostic that reports *every* validation failure (';'
+  /// separated, declaration order) — one round trip fixes a broken graph,
+  /// not one error per attempt.
   bool finish(Topology* out, std::string* error);
 
  private:
   Topology draft_;
+  std::vector<TileLinkUse> link_uses_;
   bool saw_use_before_tile_ = false;
 };
 
-/// Creates every workspace (memfd-backed) and places every object, in
-/// declaration order, exactly as validated. On success `out` maps
-/// workspace name -> live Workspace whose fds the supervisor passes to
-/// forked tiles.
+/// Creates every workspace (memfd-backed), places every object in
+/// declaration order exactly as validated, and formats every link's ring
+/// (link::Ring::create on its backing object) so tiles only ever attach.
+/// On success `out` maps workspace name -> live Workspace whose fds the
+/// supervisor passes to forked tiles.
 bool materialize(const Topology& topo, std::map<std::string, shm::Workspace>* out,
                  std::string* error);
 

@@ -207,9 +207,20 @@ bool apply_rt_option(const Parser& p, const Option& opt, BackendSpec* spec) {
     }
     return true;
   }
+  if (opt.key == "pipeline") {
+    if (opt.value.empty() || opt.value == "on" || opt.value == "1") {
+      spec->pipeline = true;
+      return true;
+    }
+    if (opt.value == "off" || opt.value == "0") {
+      spec->pipeline = false;
+      return true;
+    }
+    return p.fail("option 'pipeline' takes on|off|1|0 (got '" + std::string(opt.value) + "')");
+  }
   return p.fail("unknown rt option '" + std::string(opt.key) +
-                "' (valid: engine, diffraction, mcs, prism, threads, degrade, ws, tiles, pad, "
-                "metrics, fault)");
+                "' (valid: engine, diffraction, mcs, prism, threads, degrade, ws, tiles, "
+                "pipeline, pad, metrics, fault)");
 }
 
 bool apply_psim_option(const Parser& p, const Option& opt, BackendSpec* spec) {
@@ -307,6 +318,10 @@ bool validate_combination(const Parser& p, BackendSpec* spec) {
   if (spec->tiles != 0 && spec->ws.empty()) {
     return p.fail("option 'tiles' requires ws=<name> (worker processes share state "
                   "through a workspace)");
+  }
+  if (spec->pipeline && spec->tiles == 0) {
+    return p.fail("option 'pipeline' requires tiles=<n> (it shapes a multi-process "
+                  "deployment)");
   }
   if (!spec->ws.empty() && spec->engine_walk) {
     return p.fail("option 'ws' requires the compiled plan (engine=walk has no "
@@ -456,6 +471,7 @@ std::string BackendSpec::to_string() const {
       if (degrade == DegradeMode::kReport) opts.push_back("degrade=report");
       if (!ws.empty()) opts.push_back("ws=" + ws);
       if (tiles != defaults.tiles) opts.push_back("tiles=" + std::to_string(tiles));
+      if (pipeline) opts.push_back("pipeline=1");
       break;
     case Family::kPsim:
       if (procs != defaults.procs) opts.push_back("procs=" + std::to_string(procs));

@@ -103,6 +103,11 @@ struct BackendSpec {
   /// deploy layer validates the full combination, see
   /// deploy::validate_deploy_spec).
   std::uint32_t tiles = 0;
+  /// `pipeline=1`: run the deployment in pipelined mode — ingress tiles
+  /// stream batched requests over credit-based shm links to one counter
+  /// tile, a record tile commits histories (deploy::run_pipeline_deployment).
+  /// Requires tiles=.
+  bool pipeline = false;
 
   // -- psim -----------------------------------------------------------
   /// `procs=<n>`: simulated processors; 0 = take Workload::threads.

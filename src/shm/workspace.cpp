@@ -168,6 +168,15 @@ bool Workspace::attach(int fd, Workspace* out, std::string* error) {
   } else if (kDataOffset + header->data_footprint > size) {
     why = "truncated: header claims " + std::to_string(header->data_footprint) +
           " data bytes but the segment holds " + std::to_string(size - kDataOffset);
+  } else if (header->used > header->data_footprint) {
+    // A crash mid-alloc (or a scribbled header) can leave the bump cursor
+    // past the region it allocates from; every later alloc/find would then
+    // hand out memory outside the mapping.
+    why = "corrupt: bump cursor (used=" + std::to_string(header->used) +
+          ") exceeds data_footprint=" + std::to_string(header->data_footprint);
+  } else if (header->object_count > kMaxObjects) {
+    why = "corrupt: object_count=" + std::to_string(header->object_count) +
+          " exceeds the layout table capacity " + std::to_string(kMaxObjects);
   }
   if (!why.empty()) {
     ::munmap(base, size);

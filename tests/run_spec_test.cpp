@@ -311,6 +311,21 @@ TEST(RunSpec, WorkspaceOptionsAreRtOnlyAndValidated) {
   parse_fail("rt:bitonic:8?ws=x&tiles=nope");
 }
 
+TEST(RunSpec, PipelineOptionParsesRoundTripsAndGatesOnTiles) {
+  // pipeline=1 selects the pipelined deploy topology; bare `pipeline` and
+  // on/off spellings follow the usual boolean-option grammar.
+  EXPECT_TRUE(parse_ok("rt:bitonic:8?threads=16&ws=p&tiles=2&pipeline=1").pipeline);
+  EXPECT_TRUE(parse_ok("rt:bitonic:8?threads=16&ws=p&tiles=2&pipeline").pipeline);
+  EXPECT_TRUE(parse_ok("rt:bitonic:8?threads=16&ws=p&tiles=2&pipeline=on").pipeline);
+  EXPECT_FALSE(parse_ok("rt:bitonic:8?threads=16&ws=p&tiles=2&pipeline=off").pipeline);
+  EXPECT_FALSE(parse_ok("rt:bitonic:8?threads=16&ws=p&tiles=2").pipeline);
+  expect_round_trip("rt:bitonic:8?threads=16&ws=p&tiles=2&pipeline=1");
+
+  parse_fail("rt:bitonic:8?threads=16&ws=p&tiles=2&pipeline=maybe");
+  // pipeline shapes a multi-process deployment: tiles= is mandatory.
+  parse_fail("rt:bitonic:8?threads=16&ws=p&pipeline=1");
+}
+
 TEST(RunSpec, DieFaultsAreLegalOnlyForDeployments) {
   // In-process rt has no one to SIGKILL; with ws=&tiles= the deploy layer
   // realizes die: as a real process kill.

@@ -4,6 +4,7 @@
 // workspaces — magic/version mismatch, truncation.
 #include "shm/workspace.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -190,6 +191,38 @@ TEST(ShmWorkspace, FileBackedCreateAndAttachPath) {
   ASSERT_NE(same, nullptr);
   *same = 42;
   EXPECT_EQ(*cell, 42u);  // one segment, two mappings
+  unlink(path.c_str());
+}
+
+TEST(ShmWorkspace, AttachRejectsBumpCursorPastDataRegion) {
+  // A crash mid-alloc (or a scribbled header) can leave the bump cursor
+  // claiming more bytes than the data region holds; an attacher that
+  // trusted it would hand out memory outside the mapping on the next
+  // alloc. attach() must refuse the segment outright.
+  const std::string path =
+      testing::TempDir() + "cnet_ws_corrupt_test_" + std::to_string(getpid());
+  unlink(path.c_str());
+  std::string error;
+  {
+    Workspace ws;
+    CreateOptions options;
+    options.backing_path = path;
+    ASSERT_TRUE(Workspace::create("corrupt", 4096, &ws, &error, options)) << error;
+    ASSERT_NE(ws.alloc("cell", 64, 64, &error), nullptr) << error;
+  }
+
+  // Header layout: magic(8) version(4) object_count(4) data_footprint(8),
+  // then the 8-byte bump cursor at offset 24.
+  const int fd = open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  const std::uint64_t huge = 1ull << 40;
+  ASSERT_EQ(pwrite(fd, &huge, sizeof(huge), 24), static_cast<ssize_t>(sizeof(huge)));
+  close(fd);
+
+  Workspace attacked;
+  EXPECT_FALSE(Workspace::attach_path(path, &attacked, &error));
+  EXPECT_NE(error.find("bump cursor"), std::string::npos) << error;
+  EXPECT_NE(error.find("exceeds data_footprint"), std::string::npos) << error;
   unlink(path.c_str());
 }
 

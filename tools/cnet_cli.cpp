@@ -43,13 +43,19 @@
 //       merged serving stats — and exits 130, the same contract as an
 //       interrupted run
 //   cnet_cli deploy <spec> [--tiles N] [--threads N] [--ops N] [--batch N]
-//                   [--max-restarts N] [--timeout S]
+//                   [--max-restarts N] [--timeout S] [--pipeline]
+//                   [--pipeline-sock] [--link-depth N] [--link-burst N]
 //       multi-process deployment (docs/DEPLOY.md): the spec's `ws=` names a
 //       shared-memory workspace holding the compiled rt plan, worker-tile
 //       processes count through it, and a `fault=die:n` clause is realized
 //       as a real SIGKILL of a tile every n completed operations followed
 //       by a supervisor restart against the persistent workspace; prints
-//       the merged cross-process report with its honest guarantee
+//       the merged cross-process report with its honest guarantee.
+//       --pipeline (or spec `pipeline=1`) switches to the pipelined run:
+//       ingress tiles stream batched requests over credit-based shm links
+//       to a counter tile, a record tile commits histories;
+//       --pipeline-sock swaps the links for the per-op socketpair-handoff
+//       ablation (clean runs only)
 //
 // Exit codes: 0 success, 1 a property check failed, 2 usage error (unknown
 // command, malformed spec or workload key), 130 run interrupted by SIGINT
@@ -105,7 +111,8 @@ int usage() {
       "                    [--unbatched] [--max-batch N] [--max-pending N]\n"
       "                    [--shed-threshold X]\n"
       "  cnet_cli deploy   <spec> [--tiles N] [--threads N] [--ops N] [--batch N]\n"
-      "                    [--max-restarts N] [--timeout S]\n"
+      "                    [--max-restarts N] [--timeout S] [--pipeline]\n"
+      "                    [--pipeline-sock] [--link-depth N] [--link-burst N]\n"
       "spec grammar: <family>:<structure>:<width>[?opt[&opt]...]  (docs/HARNESS.md)\n"
       "  families: sim, psim, rt, mp   structures: bitonic, periodic, tree, balancer\n"
       "  e.g. rt:bitonic:32?engine=plan   psim:tree:64?mcs&procs=128\n");
@@ -419,6 +426,7 @@ int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
 int cmd_deploy(const run::BackendSpec& spec, int argc, char** argv, int base) {
   deploy::DeployOptions options;
   options.spec = spec;
+  bool explicit_threads = false;
   for (int i = base; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -432,6 +440,7 @@ int cmd_deploy(const run::BackendSpec& spec, int argc, char** argv, int base) {
       options.tiles = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--threads") {
       options.threads_per_tile = static_cast<std::uint32_t>(std::atoi(value()));
+      explicit_threads = true;
     } else if (arg == "--ops") {
       options.total_ops = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--batch") {
@@ -440,10 +449,26 @@ int cmd_deploy(const run::BackendSpec& spec, int argc, char** argv, int base) {
       options.max_restarts = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--timeout") {
       options.timeout_s = std::atof(value());
+    } else if (arg == "--pipeline") {
+      options.pipeline = true;
+    } else if (arg == "--pipeline-sock") {
+      // The per-op socketpair-handoff ablation (clean runs only); exists
+      // so the isolation tax is reproducible from the command line.
+      options.pipeline = true;
+      options.transport = deploy::DeployOptions::PipeTransport::kSocketPair;
+    } else if (arg == "--link-depth") {
+      options.link_depth = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--link-burst") {
+      options.link_burst = static_cast<std::uint32_t>(std::atoi(value()));
     } else {
       std::fprintf(stderr, "unknown deploy option '%s'\n", arg.c_str());
       return 2;
     }
+  }
+  // Pipeline tiles are single-stage loops; unless the user pinned a thread
+  // count, default it to 1 instead of tripping the mode's validation.
+  if ((options.pipeline || options.spec.pipeline) && !explicit_threads) {
+    options.threads_per_tile = 1;
   }
   const std::uint32_t tiles = options.tiles != 0    ? options.tiles
                               : options.spec.tiles != 0 ? options.spec.tiles
