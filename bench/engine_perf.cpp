@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "psim/coro.h"
 #include "psim/engine.h"
 #include "psim/heap_engine.h"
@@ -131,6 +133,34 @@ void BM_PsimDiffractingWorkload(benchmark::State& state) {
   state.SetLabel("items = engine events");
 }
 BENCHMARK(BM_PsimDiffractingWorkload)->Arg(64);
+
+/// Fault-plan realization cost in the cycle simulator: the same workload
+/// with no injector (arg 0) and with an armed stall plan (arg 1) whose
+/// debits land as timing-wheel sleeps. The delta is the price of chaos
+/// runs in psim — it should be dominated by the extra simulated events,
+/// not by the per-hop decision draws.
+void BM_PsimStallDebit(benchmark::State& state) {
+  const topo::Network net = topo::make_bitonic(32);
+  fault::FaultPlan plan;
+  fault::parse_fault_plan("stall:0.25:2000,seed:5", &plan, nullptr);
+  const bool armed = state.range(0) != 0;
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    fault::Injector injector(plan);
+    psim::MachineParams params;
+    params.processors = 64;
+    params.total_ops = 2000;
+    params.seed = seed++;
+    params.fault = armed ? &injector : nullptr;
+    const psim::MachineResult result = psim::run_workload(net, params);
+    benchmark::DoNotOptimize(result.makespan);
+    events += result.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel(armed ? "armed stall plan" : "no injector");
+}
+BENCHMARK(BM_PsimStallDebit)->Arg(0)->Arg(1);
 
 }  // namespace
 

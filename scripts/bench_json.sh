@@ -65,7 +65,7 @@ build/bench/throughput_rt \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json >"$tmp_rt"
 build/bench/engine_perf \
-  --benchmark_filter='Fig5Mix|PsimWorkload' \
+  --benchmark_filter='Fig5Mix|PsimWorkload|PsimStallDebit' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json >"$tmp_psim"
 
@@ -91,7 +91,7 @@ import json, sys
 required = [
     "BM_CentralAtomic", "BM_McsLockedCounter", "BM_BitonicFetchAdd",
     "BM_BitonicGraphWalk", "BM_BitonicFetchAddBatch", "BM_BitonicMcsBalancers",
-    "BM_Periodic", "BM_DiffractingTree",
+    "BM_Periodic", "BM_DiffractingTree", "BM_PsimStallDebit",
 ]
 with open(sys.argv[1]) as f:
     names = {b["name"] for b in json.load(f)["benchmarks"]}

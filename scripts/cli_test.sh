@@ -42,7 +42,8 @@ check_output() {
 }
 
 # --- usage covers every command, and usage errors exit 2 -------------------
-for cmd in info dot verify simulate workload exhaustive run count stats serve; do
+for cmd in info dot verify simulate workload exhaustive run count stats serve \
+           record replay search; do
   check_output "usage mentions '$cmd'" "cnet_cli $cmd" "$CLI"
 done
 check_rc "no arguments is a usage error" 2 "$CLI"
@@ -77,9 +78,23 @@ check "mp fault plan with deaths runs" \
 check_output "deaths downgrade the guarantee" "counting-only" \
   "$CLI" run "mp:bitonic:8?actors=2&fault=die:50,seed:3" threads=2 ops=200 seed=5
 check_rc "malformed fault plan exits 2" 2 "$CLI" run "rt:bitonic:8?fault=stall:2:100"
-check_rc "fault plan on psim exits 2" 2 "$CLI" run "psim:bitonic:8?fault=stall:0.1:100"
+check "psim stall plan runs as cycle debits" \
+  "$CLI" run "psim:bitonic:8?fault=stall:0.5:2000,seed:3" threads=4 ops=200 seed=5
+check_rc "pause on psim exits 2" 2 "$CLI" run "psim:bitonic:8?fault=pause:0.1:100"
+check_rc "die on psim exits 2" 2 "$CLI" run "psim:bitonic:8?fault=die:10"
 check_rc "mp-only clause on rt exits 2" 2 "$CLI" run "rt:bitonic:8?fault=die:10"
 check_rc "degrade without metrics exits 2" 2 "$CLI" run "rt:bitonic:8?degrade=report"
+
+# --- schedule capture, replay, and search -----------------------------------
+trace_file=/tmp/cnet_cli_test.$$.trace
+check_output "record captures and names the trace" "schedule : captured to" \
+  "$CLI" record "rt:bitonic:4?fault=stall:0.3:5000,seed:7" "$trace_file" threads=2 ops=64
+check_output "replay prints a history digest" "digest" "$CLI" replay "$trace_file"
+rm -f "$trace_file"
+check_rc "replay of a missing trace exits 2" 2 "$CLI" replay "$trace_file"
+check_output "search finds the section-4 schedule" '"magnitude": 3' \
+  "$CLI" search "psim:bitonic:4" --procs 5 --ops 1 --stalls 2 --budget 2000
+check_rc "search on a live family exits 2" 2 "$CLI" search "rt:bitonic:4"
 
 # --- SIGINT drains and exits 130 -------------------------------------------
 # A closed-loop run big enough to outlive the sleep; the handler must wind

@@ -18,10 +18,13 @@
 //
 // Which clauses a backend family supports is validated at spec-parse time
 // (run/backend_spec.cpp): stalls exist everywhere a token traverses links
-// (rt, mp, sim); pauses, deaths, and delivery delays are mp-only — rt has
+// (rt, mp, sim, and psim — the cycle simulator charges stall_ns as
+// simulated-cycle debits in its timing wheel, ns read 1:1 as cycles);
+// delivery delays apply to mp and to psim (same cycle-debit realization,
+// keyed by the destination node); pauses and deaths are mp-only — rt has
 // no workers to pause and its clients *are* the executors, so they cannot
-// abandon a token; psim fault plans are an open roadmap item
-// (docs/ROBUSTNESS.md documents the full matrix).
+// abandon a token, though an rt deployment (ws=&tiles=) realizes die: as a
+// real process kill (docs/ROBUSTNESS.md documents the full matrix).
 #pragma once
 
 #include <cstdint>

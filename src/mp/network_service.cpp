@@ -6,6 +6,7 @@
 #include "fault/injector.h"
 #include "mp/response_cell.h"
 #include "obs/backend_metrics.h"
+#include "sched/trace.h"
 #include "util/assert.h"
 
 namespace cnet::mp {
@@ -73,18 +74,22 @@ NetworkService::NetworkService(topo::Network net, Options options)
       const std::uint64_t t = node_counts_[id]++;
       const topo::OutLink next = node.out[t % node.fan_out];
       if (message.payload != 0) busy_wait_ns(message.payload);
+      std::uint64_t stall = 0;
       if (fault_ != nullptr) [[unlikely]] {
         // Stall: the token lingers on this hop (keyed by the node's layer so
         // stall:p:ns:hop plans can target one stage of the network). Delay:
         // the forward itself is late. Both are busy time on the hosting
         // worker — exactly a slow link in the asynchronous model.
-        const std::uint64_t stall = fault_->stall_ns(id, node.layer);
+        stall = fault_->stall_ns(id, node.layer);
         if (stall != 0) busy_wait_ns(stall);
         const std::uint32_t to = next.node == topo::kNoNode
                                      ? static_cast<std::uint32_t>(net_.node_count()) + next.port
                                      : next.node;
         const std::uint64_t delay = fault_->delivery_delay_ns(to);
         if (delay != 0) busy_wait_ns(delay);
+      }
+      if (recorder_ != nullptr) [[unlikely]] {
+        recorder_->hop(message.context, id, static_cast<std::uint32_t>(t % node.fan_out), stall);
       }
       if (next.node == topo::kNoNode) {
         runtime_.send(counter_actors_[next.port], message);
@@ -112,6 +117,9 @@ NetworkService::NetworkService(topo::Network net, Options options)
           const std::uint64_t a = output_counts_[port]++;
           const std::uint64_t value = port + a * net_.output_width();
           auto* cell = static_cast<ResponseCell*>(message.context);
+          // Commit before completing: the moment the client wakes, the cell
+          // can be released and reissued, and the recorder keys on it.
+          if (recorder_ != nullptr) [[unlikely]] recorder_->commit(cell, value);
           const bool delivered =
               futex_cells ? cell->complete_futex(value) : cell->complete_locked(value);
           if (!delivered) {
@@ -144,6 +152,7 @@ std::uint64_t NetworkService::count_delayed(std::uint32_t input, std::uint64_t w
   const std::uint64_t t_start = metrics_ != nullptr ? obs::now_ns() : 0;
 #endif
   ResponseCell* cell = ResponseCellCache::acquire();
+  if (recorder_ != nullptr) [[unlikely]] recorder_->issue(cell, input);
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   runtime_.send(node_actors_[net_.inputs()[input].node], Message{wait_ns, cell});
   const std::uint64_t value = runtime_.engine() == Engine::kLockFree ? cell->await_futex()
@@ -176,6 +185,7 @@ NetworkService::Pending NetworkService::count_begin(std::uint32_t input,
   pending.start_ns = metrics_ != nullptr ? obs::now_ns() : 0;
 #endif
   pending.cell = ResponseCellCache::acquire();
+  if (recorder_ != nullptr) [[unlikely]] recorder_->issue(pending.cell, input);
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   // send_queued, not send: the lock-free engine's inline fast path would
   // donate THIS thread to run the token's entire walk (stalls included),

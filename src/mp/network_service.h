@@ -63,6 +63,9 @@ struct MpMetrics;  // obs/backend_metrics.h
 namespace cnet::fault {
 class Injector;  // fault/injector.h
 }
+namespace cnet::sched {
+class Recorder;  // sched/trace.h
+}
 
 namespace cnet::mp {
 
@@ -178,6 +181,16 @@ class NetworkService {
 
   RobustnessStats robustness_stats() const;
 
+  /// Attaches a schedule recorder (borrowed; null detaches). Every
+  /// subsequent token reports its issue, per-node routing decisions, and
+  /// committed value, keyed by its ResponseCell — unique while the token is
+  /// in flight, which is all the recorder needs. Call only while quiescent
+  /// (no tokens in flight): the workers read the pointer unsynchronized.
+  /// Operations satisfied from the parked-ticket buffer perform no
+  /// traversal and record nothing; see sched/trace.h for how the recorder
+  /// attributes records to actors after the fact.
+  void set_recorder(sched::Recorder* recorder) { recorder_ = recorder; }
+
   /// The topology this service executes (the construction-time copy).
   const topo::Network& network() const { return net_; }
 
@@ -200,6 +213,7 @@ class NetworkService {
   topo::Network net_;
   obs::MpMetrics* metrics_ = nullptr;  ///< null unless CNET_OBS wiring is live
   fault::Injector* fault_ = nullptr;
+  sched::Recorder* recorder_ = nullptr;  ///< borrowed; null = capture off
 
   // Declared before runtime_ so they outlive the workers; the counter-actor
   // handlers touch them on the abandonment path.

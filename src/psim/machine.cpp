@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "fault/injector.h"
 #include "obs/backend_metrics.h"
 #include "util/assert.h"
 
@@ -14,8 +15,12 @@ namespace {
 class Machine {
  public:
   Machine(const topo::Network& net, const MachineParams& params)
-      : net_(&net), params_(params), memory_(engine_, params.mem) {
-    CNET_CHECK(params.processors >= 1);
+      : net_(&net), params_(params),
+        n_procs_(params.script != nullptr
+                     ? static_cast<std::uint32_t>(params.script->procs.size())
+                     : params.processors),
+        memory_(engine_, params.mem) {
+    CNET_CHECK(n_procs_ >= 1);
 
     balancers_.reserve(net.node_count());
     for (topo::NodeId id = 0; id < net.node_count(); ++id) {
@@ -25,24 +30,28 @@ class Machine {
         if (prism.width == 0) {
           // Multi-prism scaling of [20]: the root prism is sized to the
           // machine and each level down halves it.
-          const std::uint32_t root = std::min(8u, std::max(2u, params.processors / 8));
+          const std::uint32_t root = std::min(8u, std::max(2u, n_procs_ / 8));
           prism.width = std::max(2u, root >> (node.layer - 1));
         }
         balancers_.push_back(std::make_unique<DiffractingBalancer>(
-            engine_, memory_, params.processors, prism));
+            engine_, memory_, n_procs_, prism));
       } else {
         balancers_.push_back(std::make_unique<McsToggleBalancer>(
-            engine_, memory_, params.processors, node.fan_out));
+            engine_, memory_, n_procs_, node.fan_out));
       }
     }
     counters_.reserve(net.output_width());
     for (std::uint32_t i = 0; i < net.output_width(); ++i) counters_.push_back(memory_.alloc(0));
 
+    // Scripted runs carry their own stall placements; the F/W delayed set
+    // does not apply (delayed_fraction is documented as ignored).
     const auto delayed =
-        static_cast<std::uint32_t>(std::lround(params.delayed_fraction *
-                                               static_cast<double>(params.processors)));
+        params.script != nullptr
+            ? 0u
+            : static_cast<std::uint32_t>(std::lround(params.delayed_fraction *
+                                                     static_cast<double>(n_procs_)));
     Rng seeder(params.seed);
-    for (std::uint32_t p = 0; p < params.processors; ++p) {
+    for (std::uint32_t p = 0; p < n_procs_; ++p) {
       rngs_.emplace_back(seeder.split());
       delayed_.push_back(p < delayed);
     }
@@ -50,7 +59,7 @@ class Machine {
     // paper does not pin F to particular processors); with a deterministic
     // assignment the slow tokens would be spread evenly over the input
     // wires, creating an artificially symmetric starvation pattern.
-    for (std::uint32_t p = params.processors; p > 1; --p) {
+    for (std::uint32_t p = n_procs_; p > 1; --p) {
       const auto j = static_cast<std::uint32_t>(seeder.below(p));
       const bool tmp = delayed_[p - 1];
       delayed_[p - 1] = delayed_[j];
@@ -59,14 +68,15 @@ class Machine {
   }
 
   MachineResult run() {
-    procs_.reserve(params_.processors);
-    for (std::uint32_t p = 0; p < params_.processors; ++p) procs_.push_back(processor(p));
+    procs_.reserve(n_procs_);
+    for (std::uint32_t p = 0; p < n_procs_; ++p) procs_.push_back(processor(p));
     for (auto& proc : procs_) proc.start();
     engine_.run();
     for (const auto& proc : procs_) CNET_CHECK_MSG(proc.done(), "processor parked mid-run");
 
     MachineResult result;
     result.history = std::move(history_);
+    result.op_hops = std::move(op_hops_);
     result.analysis = lin::check(result.history);
     for (const lin::Operation& op : result.history) {
       result.op_latency.add(op.end - op.start);
@@ -112,18 +122,48 @@ class Machine {
  private:
   Coro<void> processor(std::uint32_t p) {
     Rng& rng = rngs_[p];
+    const std::vector<ScriptedOp>* lane =
+        params_.script != nullptr ? &params_.script->procs[p] : nullptr;
+    std::size_t next_op = 0;
     // Paper semantics: "the execution is stopped when 5000 operations were
     // performed" — processors issue continuously until the *completed* count
     // reaches the target, so fast processors keep traversing while delayed
-    // tokens are still in flight (slightly overshooting the target).
-    while (completed_ < params_.total_ops) {
+    // tokens are still in flight (slightly overshooting the target). A
+    // scripted lane instead issues exactly its own op list.
+    while (lane != nullptr ? next_op < lane->size() : completed_ < params_.total_ops) {
+      const ScriptedOp* op = lane != nullptr ? &(*lane)[next_op++] : nullptr;
+      // The adversary's invocation control: the processor sleeps before the
+      // op begins, so the start timestamp (and every precedence edge into
+      // this op) moves with it.
+      if (op != nullptr && op->defer != 0) co_await engine_.sleep(op->defer);
       const auto start = static_cast<double>(engine_.now());
-      topo::OutLink at = net_->inputs()[p % net_->input_width()];
+      const std::uint32_t wire = (op != nullptr ? op->input : p) % net_->input_width();
+      topo::OutLink at = net_->inputs()[wire];
+      std::uint32_t hops = 0;
+      std::vector<HopRecord> hop_records;
       while (at.node != topo::kNoNode) {
         const topo::NodeId node = at.node;
+        if (params_.fault != nullptr) {
+          // A late delivery: the token reaches this balancer's queue late.
+          const Cycle late = params_.fault->delivery_delay_ns(node);
+          if (late != 0) co_await engine_.sleep(late);
+        }
         const Cycle hop_start = engine_.now();
         const std::uint32_t port = co_await balancers_[node]->traverse(p, rng);
-        const Cycle wait = post_node_wait(p, rng);
+        ++hops;
+        if (params_.record_hops) hop_records.push_back(HopRecord{node, port, hop_start});
+        // Stall debits land after the balancer released the token and
+        // before it moves on — at the final node this window sits between
+        // the last balancer and the output-counter access, exactly where
+        // the §4 adversary parks a token.
+        if (op != nullptr && hops <= op->stalls.size() && op->stalls[hops - 1] != 0) {
+          co_await engine_.sleep(op->stalls[hops - 1]);
+        }
+        if (params_.fault != nullptr) {
+          const std::uint64_t stall = params_.fault->stall_ns(p, net_->node(node).layer);
+          if (stall != 0) co_await engine_.sleep(stall);
+        }
+        const Cycle wait = op != nullptr ? 0 : post_node_wait(p, rng);
         if (wait != 0) co_await engine_.sleep(wait);
         co_await engine_.sleep(params_.hop_cycles);
 #if CNET_OBS
@@ -149,11 +189,12 @@ class Machine {
       if (params_.metrics != nullptr) {
         params_.metrics->trace.record(
             p, obs::TraceEvent{static_cast<std::uint64_t>(start),
-                               static_cast<std::uint64_t>(end - start), p,
-                               p % net_->input_width(), obs::TracePhase::kOp});
+                               static_cast<std::uint64_t>(end - start), p, wire,
+                               obs::TracePhase::kOp});
       }
 #endif
       history_.push_back(lin::Operation{start, end, value, p});
+      if (params_.record_hops) op_hops_.push_back(std::move(hop_records));
     }
   }
 
@@ -166,6 +207,7 @@ class Machine {
 
   const topo::Network* net_;
   MachineParams params_;
+  std::uint32_t n_procs_;  ///< script lanes when scripted, else params.processors
   Engine engine_;
   Memory memory_;
   std::vector<std::unique_ptr<Balancer>> balancers_;
@@ -175,6 +217,7 @@ class Machine {
   std::vector<Coro<void>> procs_;
   std::uint64_t completed_ = 0;
   lin::History history_;
+  std::vector<std::vector<HopRecord>> op_hops_;
 };
 
 }  // namespace

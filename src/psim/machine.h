@@ -21,7 +21,42 @@ namespace cnet::obs {
 struct PsimMetrics;  // obs/backend_metrics.h
 }
 
+namespace cnet::fault {
+class Injector;  // fault/injector.h
+}
+
 namespace cnet::psim {
+
+/// One scripted operation: an entry wire, an invocation defer, and per-hop
+/// stall debits. `defer` cycles are slept before the operation is invoked
+/// (before its start timestamp) — the §4 adversary's control over *when* a
+/// processor issues, which is what lets a late token draw a withheld low
+/// value after earlier operations have completed. stalls[k] simulated
+/// cycles are charged after the op's (k+1)-th node traversal, before the
+/// token moves on — at the final node that window sits between the last
+/// balancer and the output-counter access, which is exactly where the §4
+/// adversary parks a token. Entries beyond the op's actual hop count are
+/// ignored; zero entries charge nothing.
+struct ScriptedOp {
+  std::uint32_t input = 0;  ///< entry wire (taken modulo the input width)
+  Cycle defer = 0;          ///< cycles slept before the op is invoked
+  std::vector<Cycle> stalls;
+};
+
+/// A fixed schedule for the machine: lane p is the exact operation sequence
+/// processor p issues, replacing closed-loop issuance and the F/W waits.
+/// The engine fires events in deterministic (cycle, seq) order, so one
+/// script always produces one history — this is what sched::replay() and
+/// the adversarial schedule search execute.
+struct Script {
+  std::vector<std::vector<ScriptedOp>> procs;
+
+  std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const auto& lane : procs) n += lane.size();
+    return n;
+  }
+};
 
 struct MachineParams {
   std::uint32_t processors = 4;
@@ -57,6 +92,36 @@ struct MachineParams {
   /// Recording never touches the engine: an instrumented run is
   /// cycle-for-cycle identical to a bare one.
   obs::PsimMetrics* metrics = nullptr;
+
+  /// Fault-plan realization (borrowed; may be null). `stall:` clauses charge
+  /// the plan's stall_ns as simulated cycles after an eligible node
+  /// traversal (decision stream keyed by processor id, hop targeting by the
+  /// node's 1-based layer); `delay:` clauses charge delay_ns cycles before a
+  /// node accepts the token (stream keyed by the destination node id). The
+  /// plan's ns fields are read 1:1 as cycles — the simulator has no
+  /// nanoseconds. pause/die have no psim realization and the spec parser
+  /// rejects them. Deterministic by construction: the single-threaded engine
+  /// draws every decision in (cycle, seq) firing order, so one (plan, seed)
+  /// yields one schedule.
+  fault::Injector* fault = nullptr;
+
+  /// Fixed-schedule mode (borrowed; may be null). When set, `processors`,
+  /// `total_ops`, `delayed_fraction`, and `random_wait` are ignored:
+  /// script->procs.size() processors each run exactly their scripted ops,
+  /// with the scripted stall debits and no random waits.
+  const Script* script = nullptr;
+
+  /// Record every op's node arrivals into MachineResult::op_hops (the
+  /// schedule search's commuting-events analysis needs them). Recording
+  /// never touches the engine; a recorded run is cycle-identical.
+  bool record_hops = false;
+};
+
+/// One node arrival in a record_hops run.
+struct HopRecord {
+  topo::NodeId node = 0;
+  std::uint32_t port = 0;  ///< exit port the balancer chose
+  Cycle at = 0;            ///< cycle the token reached the node
 };
 
 struct LayerStats {
@@ -69,6 +134,9 @@ struct MachineResult {
   lin::History history;
   lin::CheckResult analysis;
   std::vector<LayerStats> layers;  ///< per network layer (1-based -> index 0)
+
+  /// Per-op node arrivals, parallel to `history` (record_hops runs only).
+  std::vector<std::vector<HopRecord>> op_hops;
 
   Summary op_latency;           ///< per-operation start->completion cycles
   double avg_tog = 0.0;         ///< mean toggle wait over all balancers (cycles)

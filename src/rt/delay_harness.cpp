@@ -31,7 +31,9 @@ struct WaitCtx {
   std::uint64_t wait_ns;
 };
 
-void after_node_wait(void* ctx) { busy_wait_ns(static_cast<WaitCtx*>(ctx)->wait_ns); }
+void after_node_wait(void* ctx, std::uint32_t /*node*/, std::uint32_t /*port*/) {
+  busy_wait_ns(static_cast<WaitCtx*>(ctx)->wait_ns);
+}
 
 }  // namespace
 

@@ -109,7 +109,7 @@ std::uint64_t NetworkCounter::next_hooked(std::uint32_t thread_id, std::uint32_t
   topo::OutLink at = net_.inputs()[input];
   while (at.node != topo::kNoNode) {
     const std::uint32_t port = traverse_node(at.node, thread_id);
-    if (after_node != nullptr) after_node(ctx);
+    if (after_node != nullptr) after_node(ctx, at.node, port);
     at = net_.node(at.node).out[port];
   }
   const std::uint64_t nth = outputs_[at.port]->fetch_add(1, std::memory_order_acq_rel);
@@ -146,7 +146,7 @@ std::uint64_t NetworkCounter::walk_instrumented(std::uint32_t thread_id, std::ui
         t_last = now;
       }
     }
-    if (after_node != nullptr) after_node(ctx);
+    if (after_node != nullptr) after_node(ctx, at.node, port);
     at = node.out[port];
   }
   if (sampled) {

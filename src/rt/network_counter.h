@@ -75,10 +75,12 @@ class NetworkCounter {
   }
 
   /// Called after each node traversal when instrumenting a token's walk
-  /// (the delay harness injects the paper's W-cycle waits through this).
+  /// (the delay harness injects the paper's W-cycle waits through this and
+  /// the schedule recorder captures the (node, port) routing decisions).
   using NodeHook = rt::NodeHook;
 
-  /// As next(), invoking `after_node(ctx)` after every node traversal.
+  /// As next(), invoking `after_node(ctx, node, port)` after every node
+  /// traversal.
   std::uint64_t next_hooked(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
                             void* ctx);
 

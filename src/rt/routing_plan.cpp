@@ -331,7 +331,7 @@ std::uint32_t RoutingPlan::route(std::uint32_t thread_id, std::uint32_t input,
   std::uint32_t hop = entry_[input];
   while ((hop & kOutputBit) == 0) {
     const std::uint32_t port = traverse(hop, thread_id);
-    after_node(ctx);
+    after_node(ctx, hop, port);
     hop = succ_[succ_offset_[hop] + port];
   }
   return hop & ~kOutputBit;
@@ -371,7 +371,7 @@ std::uint32_t RoutingPlan::route_instrumented(std::uint32_t thread_id, std::uint
         t_last = now;
       }
     }
-    if (after_node != nullptr) after_node(ctx);
+    if (after_node != nullptr) after_node(ctx, hop, port);
     hop = succ[succ_offset_[hop] + port];
   }
   if (sampled) {

@@ -97,9 +97,13 @@ struct CounterOptions {
   DegradeGuard::Options degrade{};
 };
 
-/// Called after each node traversal when instrumenting a token's walk (the
-/// delay harness injects the paper's W-cycle waits through this).
-using NodeHook = void (*)(void* ctx);
+/// Called after each node traversal when instrumenting a token's walk: the
+/// delay harness injects the paper's W-cycle waits here, the fault injector
+/// charges stall: debits, and the schedule recorder (sched/trace.h)
+/// captures routing decisions. `node` is the traversed node's label — the
+/// topo::NodeId on both executors (the compiled plan indexes its nodes by
+/// topology id) — and `port` is the exit port its balancer chose.
+using NodeHook = void (*)(void* ctx, std::uint32_t node, std::uint32_t port);
 
 /// Caller-provided home for a plan's shared balancer state (toggles, MCS
 /// counts, prism fallback counters and slots, exit-port counters). The
@@ -167,7 +171,7 @@ class RoutingPlan {
     return next_hooked(thread_id, input, nullptr, nullptr);
   }
 
-  /// As next(), invoking `after_node(ctx)` after every node traversal
+  /// As next(), invoking `after_node(ctx, node, port)` after every node traversal
   /// (including pass-through padding nodes, which the un-hooked path skips).
   std::uint64_t next_hooked(std::uint32_t thread_id, std::uint32_t input, NodeHook after_node,
                             void* ctx);

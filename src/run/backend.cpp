@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mp/response_cell.h"
+#include "sched/trace.h"
 #include "sim/delay_model.h"
 #include "sim/simulator.h"
 #include "util/assert.h"
@@ -28,7 +29,9 @@ struct WaitCtx {
   std::uint64_t wait_ns;
 };
 
-void after_node_wait(void* ctx) { busy_wait_ns(static_cast<WaitCtx*>(ctx)->wait_ns); }
+void after_node_wait(void* ctx, std::uint32_t /*node*/, std::uint32_t /*port*/) {
+  busy_wait_ns(static_cast<WaitCtx*>(ctx)->wait_ns);
+}
 
 /// Hook context for faulted rt traversals: the W wait plus per-hop stall
 /// decisions. `hop` counts traversed nodes (1-based), which on the layered
@@ -42,11 +45,36 @@ struct FaultWaitCtx {
   std::uint32_t hop;
 };
 
-void after_node_fault(void* c) {
+void after_node_fault(void* c, std::uint32_t /*node*/, std::uint32_t /*port*/) {
   auto* ctx = static_cast<FaultWaitCtx*>(c);
   ++ctx->hop;
   busy_wait_ns(ctx->wait_ns);
   busy_wait_ns(ctx->injector->stall_ns(ctx->thread_id, ctx->hop));
+}
+
+/// Hook context for captured rt traversals: the schedule recorder rides the
+/// same per-node hook as the W wait and the fault injector, so a captured
+/// run sees exactly the hops (and stalls) an uncaptured one would. The ctx
+/// address doubles as the recorder's token key — unique while the op is in
+/// flight, which is all the recorder needs.
+struct CaptureCtx {
+  sched::Recorder* recorder;
+  std::uint64_t wait_ns;
+  fault::Injector* injector;  ///< may be null
+  std::uint32_t thread_id;
+  std::uint32_t hop;
+};
+
+void after_node_capture(void* c, std::uint32_t node, std::uint32_t port) {
+  auto* ctx = static_cast<CaptureCtx*>(c);
+  ++ctx->hop;
+  busy_wait_ns(ctx->wait_ns);
+  std::uint64_t stall = 0;
+  if (ctx->injector != nullptr) {
+    stall = ctx->injector->stall_ns(ctx->thread_id, ctx->hop);
+    busy_wait_ns(stall);
+  }
+  ctx->recorder->hop(ctx, node, port, stall);
 }
 
 rt::CounterOptions rt_options(const BackendSpec& spec, obs::CounterMetrics* metrics) {
@@ -219,15 +247,18 @@ RtBackend::RtBackend(const BackendSpec& spec, obs::CounterMetrics* external_metr
                make_plan_arena(spec, metrics_, &workspace_)) {}
 
 std::uint64_t RtBackend::count(std::uint32_t thread_id) {
-  if (fault_ != nullptr) [[unlikely]] return count_delayed(thread_id, 0);
+  if (fault_ != nullptr || recorder_ != nullptr) [[unlikely]] {
+    return count_delayed(thread_id, 0);
+  }
   return counter_.next(thread_id);
 }
 
 void RtBackend::count_batch(std::uint32_t thread_id, std::span<std::uint64_t> out) {
-  if (fault_ != nullptr) [[unlikely]] {
-    // Stalls are per-hop, per-token decisions; the batched claim makes one
-    // traversal for the whole span, so fall back to individual tokens to
-    // keep the injected fault rate independent of the batch size.
+  if (fault_ != nullptr || recorder_ != nullptr) [[unlikely]] {
+    // Stalls and schedule capture are per-hop, per-token; the batched claim
+    // makes one traversal for the whole span, so fall back to individual
+    // tokens to keep the injected fault rate (and the captured hop count)
+    // independent of the batch size.
     for (auto& value : out) value = count_delayed(thread_id, 0);
     return;
   }
@@ -235,15 +266,26 @@ void RtBackend::count_batch(std::uint32_t thread_id, std::span<std::uint64_t> ou
 }
 
 std::uint64_t RtBackend::count_delayed(std::uint32_t thread_id, std::uint64_t wait_ns) {
+  const std::uint32_t input = thread_id % network().input_width();
+  if (recorder_ != nullptr) [[unlikely]] {
+    CaptureCtx ctx{recorder_, wait_ns, fault_.get(), thread_id, 0};
+    recorder_->issue(&ctx, input);
+    const std::uint64_t value = counter_.next_hooked(thread_id, input, after_node_capture, &ctx);
+    recorder_->commit(&ctx, value);
+    return value;
+  }
   if (fault_ != nullptr) [[unlikely]] {
     FaultWaitCtx ctx{wait_ns, fault_.get(), thread_id, 0};
-    return counter_.next_hooked(thread_id, thread_id % network().input_width(),
-                                after_node_fault, &ctx);
+    return counter_.next_hooked(thread_id, input, after_node_fault, &ctx);
   }
   if (wait_ns == 0) return count(thread_id);
   WaitCtx ctx{wait_ns};
-  return counter_.next_hooked(thread_id, thread_id % network().input_width(), after_node_wait,
-                              &ctx);
+  return counter_.next_hooked(thread_id, input, after_node_wait, &ctx);
+}
+
+bool RtBackend::set_recorder(sched::Recorder* recorder) {
+  recorder_ = recorder;
+  return true;
 }
 
 void RtBackend::register_metrics(obs::MetricsRegistry& registry) const {
@@ -302,6 +344,11 @@ CountingBackend::TimedCount MpBackend::count_collect_until(
        pending.start_ns},
       deadline);
   return {result.ok, result.value};
+}
+
+bool MpBackend::set_recorder(sched::Recorder* recorder) {
+  service_.set_recorder(recorder);
+  return true;
 }
 
 CountingBackend::DrainResult MpBackend::drain(std::uint64_t deadline_ns) {
@@ -476,6 +523,7 @@ SimulatedRun SimBackend::simulate(const Workload& workload) {
 PsimBackend::PsimBackend(const BackendSpec& spec)
     : CountingBackend(spec),
       metrics_(spec.metrics ? std::make_unique<obs::PsimMetrics>() : nullptr),
+      fault_(make_injector(spec)),
       net_(spec.build_network()) {}
 
 SimulatedRun PsimBackend::simulate(const Workload& workload) {
@@ -495,6 +543,7 @@ SimulatedRun PsimBackend::simulate(const Workload& workload) {
   params.use_diffraction = spec_.diffraction;
   params.prism.width = spec_.prism_width;
   params.metrics = metrics_.get();
+  params.fault = fault_.get();
 
   psim::MachineResult result = psim::run_workload(net_, params);
   out.history = std::move(result.history);

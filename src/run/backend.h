@@ -32,6 +32,10 @@
 #include "shm/workspace.h"
 #include "topo/network.h"
 
+namespace cnet::sched {
+class Recorder;  // sched/trace.h
+}
+
 namespace cnet::run {
 
 /// What a simulated backend hands back from one Workload execution.
@@ -140,6 +144,14 @@ class CountingBackend {
   /// spec carries no fault plan. Mutable: the Runner draws client-death
   /// decisions from it and reads the injection totals for the report.
   virtual fault::Injector* fault_injector() { return nullptr; }
+
+  // -- schedule capture --------------------------------------------------
+  /// Attaches a sched::Recorder (borrowed; null detaches): every subsequent
+  /// operation reports its issue, per-node routing decisions, and committed
+  /// value to it, so the run's interleaving can be serialized and replayed
+  /// in psim. Live backends only — returns false where capture is
+  /// unsupported (simulated backends already are their own schedule).
+  virtual bool set_recorder(sched::Recorder*) { return false; }
   /// Degraded-mode guard status (rt only; default-constructed — policy
   /// off — elsewhere).
   virtual rt::DegradeGuard::Status degrade_status() const { return {}; }
@@ -173,6 +185,7 @@ class RtBackend final : public CountingBackend {
   void register_metrics(obs::MetricsRegistry& registry) const override;
   double c2c1_estimate() const override;
   fault::Injector* fault_injector() override { return fault_.get(); }
+  bool set_recorder(sched::Recorder* recorder) override;
   rt::DegradeGuard::Status degrade_status() const override;
 
   /// The executor itself, for embedders that outgrow the interface.
@@ -184,6 +197,7 @@ class RtBackend final : public CountingBackend {
   std::unique_ptr<obs::CounterMetrics> owned_metrics_;
   obs::CounterMetrics* metrics_ = nullptr;
   std::unique_ptr<fault::Injector> fault_;  ///< set iff the spec carries a plan
+  sched::Recorder* recorder_ = nullptr;     ///< borrowed; null = capture off
   /// Live iff the spec asked for workspace placement (`ws=`): the counter's
   /// plan state then lives in this named shared segment instead of the
   /// heap. Declared before counter_ — the arena must outlive the plan.
@@ -213,6 +227,7 @@ class MpBackend final : public CountingBackend {
 
   void register_metrics(obs::MetricsRegistry& registry) const override;
   fault::Injector* fault_injector() override { return fault_.get(); }
+  bool set_recorder(sched::Recorder* recorder) override;
 
   mp::NetworkService& service() { return service_; }
   obs::MpMetrics* metrics() const { return metrics_.get(); }
@@ -255,10 +270,12 @@ class PsimBackend final : public CountingBackend {
 
   void register_metrics(obs::MetricsRegistry& registry) const override;
   double c2c1_estimate() const override;
+  fault::Injector* fault_injector() override { return fault_.get(); }
   obs::PsimMetrics* metrics() const { return metrics_.get(); }
 
  private:
   std::unique_ptr<obs::PsimMetrics> metrics_;
+  std::unique_ptr<fault::Injector> fault_;  ///< set iff the spec carries a plan
   topo::Network net_;
 };
 

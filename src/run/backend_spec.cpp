@@ -131,11 +131,6 @@ bool apply_common_option(const Parser& p, const Option& opt, BackendSpec* spec, 
     return parse_on_off(p, opt.key, opt.value, &spec->metrics);
   }
   if (opt.key == "fault") {
-    if (spec->family == Family::kPsim) {
-      return p.fail(
-          "option 'fault' does not apply to psim yet (fault plans for the "
-          "cycle simulator are an open roadmap item)");
-    }
     std::string why;
     if (!fault::parse_fault_plan(opt.value, &spec->fault, &why)) {
       return p.fail("option 'fault': " + why);
@@ -246,7 +241,7 @@ bool apply_psim_option(const Parser& p, const Option& opt, BackendSpec* spec) {
     return true;
   }
   return p.fail("unknown psim option '" + std::string(opt.key) +
-                "' (valid: procs, diffraction, mcs, prism, hop, pad, metrics)");
+                "' (valid: procs, diffraction, mcs, prism, hop, pad, metrics, fault)");
 }
 
 bool apply_sim_option(const Parser& p, const Option& opt, BackendSpec* spec) {
@@ -328,20 +323,36 @@ bool validate_combination(const Parser& p, BackendSpec* spec) {
                   "relocatable state)");
   }
   if (spec->fault.any() && spec->family != Family::kMp) {
-    // Token stalls exist everywhere a token traverses links; the other
-    // clauses name mp-specific machinery (workers to pause, deliveries to
-    // delay, clients that can abandon a token and let it fly on) — except
-    // that an rt *deployment* (tiles=) realizes die: as a real SIGKILL of
-    // a worker process (deploy/counter_deploy.h).
-    const bool rt_deploy_death =
-        spec->family == Family::kRt && spec->tiles != 0 && spec->fault.has_deaths() &&
-        !spec->fault.has_pauses() && !spec->fault.has_delays() && !spec->fault.has_stalls();
-    if (!rt_deploy_death &&
-        (spec->fault.has_pauses() || spec->fault.has_deaths() || spec->fault.has_delays())) {
-      return p.fail("fault clauses pause/die/delay apply to mp only (" +
-                    std::string(family_name(spec->family)) +
-                    " supports stall; rt with ws=&tiles= additionally supports die as a "
-                    "real process kill)");
+    // Token stalls exist everywhere a token traverses links. psim realizes
+    // stall and delay as simulated-cycle debits in the timing wheel (the ns
+    // fields are read as cycles); the remaining clauses name machinery the
+    // respective backend does not have, each rejected with its own reason.
+    if (spec->family == Family::kPsim) {
+      if (spec->fault.has_pauses()) {
+        return p.fail(
+            "fault clause 'pause' does not apply to psim (simulated processors "
+            "are engine coroutines — there is no worker thread to park)");
+      }
+      if (spec->fault.has_deaths()) {
+        return p.fail(
+            "fault clause 'die' does not apply to psim (a simulated processor "
+            "cannot abandon its token: the closed loop has no client side)");
+      }
+    } else {
+      // pause/die/delay name mp-specific machinery (workers to pause,
+      // deliveries to delay, clients that can abandon a token and let it fly
+      // on) — except that an rt *deployment* (tiles=) realizes die: as a
+      // real SIGKILL of a worker process (deploy/counter_deploy.h).
+      const bool rt_deploy_death =
+          spec->family == Family::kRt && spec->tiles != 0 && spec->fault.has_deaths() &&
+          !spec->fault.has_pauses() && !spec->fault.has_delays() && !spec->fault.has_stalls();
+      if (!rt_deploy_death &&
+          (spec->fault.has_pauses() || spec->fault.has_deaths() || spec->fault.has_delays())) {
+        return p.fail("fault clauses pause/die/delay apply to mp only (" +
+                      std::string(family_name(spec->family)) +
+                      " supports stall; psim additionally supports delay as a cycle "
+                      "debit; rt with ws=&tiles= supports die as a real process kill)");
+      }
     }
   }
   if (spec->degrade != DegradeMode::kOff && !spec->metrics) {

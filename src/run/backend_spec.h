@@ -74,9 +74,11 @@ struct BackendSpec {
   /// mp only — the sim family has no obs surface.
   bool metrics = false;
   /// `fault=<plan>`: seeded fault injection (mini-grammar and clause/family
-  /// support matrix in fault/plan.h). Stalls apply to rt, mp, and sim;
-  /// pauses, deaths, and delivery delays are mp-only; psim rejects fault
-  /// plans (open roadmap item). Empty plan = no injection.
+  /// support matrix in fault/plan.h). Stalls apply to rt, mp, sim, and psim
+  /// (psim charges them as simulated-cycle debits, ns read as cycles);
+  /// delivery delays apply to mp and psim; pauses and deaths are mp-only
+  /// (plus rt deployments realizing die: as a process kill). Empty plan =
+  /// no injection.
   fault::FaultPlan fault{};
 
   // -- rt -------------------------------------------------------------

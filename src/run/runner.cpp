@@ -148,13 +148,18 @@ RunReport reject(RunReport report, std::string why) {
 }  // namespace
 
 RunReport Runner::run(CountingBackend& backend, const Workload& workload,
-                      const std::atomic<bool>* stop) {
+                      const std::atomic<bool>* stop, sched::Recorder* capture) {
   RunReport report;
   report.spec = backend.spec();
   report.workload = workload;
   report.time_unit = backend.time_unit();
 
   if (workload.threads == 0) return reject(std::move(report), "workload needs threads >= 1");
+  if (capture != nullptr && !backend.set_recorder(capture)) {
+    return reject(std::move(report),
+                  "schedule capture requires a live rt or mp backend (a simulated "
+                  "backend's schedule is its params — serialize those instead)");
+  }
   if (workload.delayed_fraction < 0.0 || workload.delayed_fraction > 1.0) {
     return reject(std::move(report), "delayed_fraction must be in [0, 1]");
   }
@@ -215,6 +220,9 @@ RunReport Runner::run(CountingBackend& backend, const Workload& workload,
     report.stray_tokens = drained.strays;
     report.drain_wait_ns = drained.waited_ns;
     report.reclaimed_values = std::move(drained.reclaimed);
+    // Detach only after the drain: an abandoned token still in flight
+    // would otherwise report hops to a recorder the caller already owns.
+    if (capture != nullptr) backend.set_recorder(nullptr);
   } else {
     SimulatedRun result = backend.simulate(workload);
     if (!result.ok) return reject(std::move(report), std::move(result.error));
@@ -291,6 +299,9 @@ std::string RunReport::to_text() const {
   s += buf;
   std::snprintf(buf, sizeof buf, "makespan : %.0f %s\n", makespan, time_unit.c_str());
   s += buf;
+  if (!schedule_ref.empty()) {
+    s += "schedule : captured to " + schedule_ref + "\n";
+  }
   if (time_unit == "ns") {
     std::snprintf(buf, sizeof buf, "rate     : %.3f M ops/s\n", throughput * 1e3);
   } else {

@@ -91,6 +91,11 @@ struct RunReport {
   fault::Injector::Stats fault_stats;    ///< what was actually injected
   rt::DegradeGuard::Status degrade;      ///< guard status (policy kOff if absent)
 
+  /// Where the run's captured schedule trace was saved (set by the caller
+  /// after sched::Trace::save — the Runner itself never touches the
+  /// filesystem); empty when the run was not captured.
+  std::string schedule_ref;
+
   /// Multi-line human-readable rendering (what `cnet_cli run` prints).
   std::string to_text() const;
 };
@@ -107,8 +112,17 @@ class Runner {
   /// and inside pacing waits; once true they finish their current
   /// operation and wind down — no token is torn mid-flight, the backend is
   /// drained, and the (partial) report is produced with `interrupted` set.
+  ///
+  /// `capture` (optional): a sched::Recorder attached to the backend for
+  /// the duration of the run — every operation's issue, routing decisions,
+  /// and committed value are recorded so the interleaving can be serialized
+  /// (sched::Trace) and replayed in psim. Live backends only: the run is
+  /// rejected when the backend does not support capture (simulated
+  /// backends already are their own schedule — serialize the params
+  /// instead). The recorder is detached before the report is produced;
+  /// call Recorder::finish with the report's history to attribute records.
   RunReport run(CountingBackend& backend, const Workload& workload,
-                const std::atomic<bool>* stop = nullptr);
+                const std::atomic<bool>* stop = nullptr, sched::Recorder* capture = nullptr);
 };
 
 }  // namespace cnet::run

@@ -1,0 +1,121 @@
+// Schedule capture for live backends, serialized to a versioned binary
+// trace and replayable as a fixed psim schedule (sched/replay.h) — the
+// kmc-replay move: a chaos run that produced an inversion stops being a
+// one-off event and becomes a deterministic regression test.
+//
+// Capture model: a token in flight is identified by an opaque pointer (rt:
+// the issuer's stack-held hook context; mp: the operation's ResponseCell).
+// The backend reports issue() when the token enters the network, hop()
+// after every balancer traversal — carrying the node id, the exit port the
+// balancer chose, and any injected stall — and commit() with the returned
+// counter value, which closes the record. Keys may be reused after commit
+// (mp's cell pool does); reuse is sequential per token, so the in-flight
+// map stays exact.
+//
+// Attribution: backends do not know the issuing actor at capture time (mp's
+// service sees only the entry wire), so finish() matches records to the
+// run's history by value — counter values are unique per run, so the match
+// is exact — and orders each actor's records by operation start time. A
+// record whose value never reached the history keeps kNoActor and sorts to
+// the end (mp only: the client died and the value is still parked; a value
+// recycled to a *later* op inherits that op's actor, which is the honest
+// reading — that op is the one that returned the traversal's value).
+//
+// File format (little-endian, fixed-width fields), with load-time
+// validation mirroring shm::Workspace::attach: every failure names the
+// offending field and both the expected and the observed value.
+//
+//   magic "CNETTRCE" | u32 version | u32 reserved | u32 spec_len |
+//   u32 workload_len | u64 token_count | spec bytes | workload bytes |
+//   per token: u32 actor | u32 input | u64 value | u32 hop_count |
+//              per hop: u32 node | u32 port | u64 stall_ns
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lin/history.h"
+
+namespace cnet::sched {
+
+/// Actor label for records finish() could not attribute (see file comment).
+inline constexpr std::uint32_t kNoActor = 0xffffffffu;
+
+/// One node traversal in a captured operation.
+struct HopEvent {
+  std::uint32_t node = 0;      ///< topo::NodeId of the traversed balancer
+  std::uint32_t port = 0;      ///< exit port the balancer chose
+  std::uint64_t stall_ns = 0;  ///< injected stall charged after this hop
+
+  friend bool operator==(const HopEvent&, const HopEvent&) = default;
+};
+
+/// One captured operation: a token's full traversal plus its outcome.
+struct TokenRecord {
+  std::uint32_t actor = kNoActor;
+  std::uint32_t input = 0;
+  std::uint64_t value = 0;
+  std::vector<HopEvent> hops;
+
+  friend bool operator==(const TokenRecord&, const TokenRecord&) = default;
+};
+
+/// A captured schedule: which spec and workload produced it, and every
+/// committed token's traversal, sorted by (actor, op start).
+struct Trace {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string spec;      ///< BackendSpec string of the captured run
+  std::string workload;  ///< Workload description of the captured run
+  std::vector<TokenRecord> tokens;
+
+  /// Wire encoding (the file format above, sans filesystem).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Strict decode: rejects truncated buffers, bad magic, unsupported
+  /// versions, and length fields that overrun the buffer, each with a
+  /// named-field diagnostic in *error.
+  static bool deserialize(const void* data, std::size_t size, Trace* out, std::string* error);
+
+  bool save(const std::string& path, std::string* error) const;
+  static bool load(const std::string& path, Trace* out, std::string* error);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+/// Thread-safe capture sink. Backends attach one via
+/// run::CountingBackend::set_recorder() and report issue/hop/commit per
+/// token; finish() turns the committed records into a Trace. One Recorder
+/// serves one run; finish() drains it for reuse.
+class Recorder {
+ public:
+  /// Opens a record for the token keyed by `token` (an address unique while
+  /// the op is in flight). `input` is the entry wire.
+  void issue(const void* token, std::uint32_t input);
+
+  /// Appends one traversal to the open record. Unknown keys are ignored
+  /// (a hop racing a detach, or a token issued before attach).
+  void hop(const void* token, std::uint32_t node, std::uint32_t port, std::uint64_t stall_ns);
+
+  /// Closes the record with the op's counter value and retires the key.
+  void commit(const void* token, std::uint64_t value);
+
+  /// Committed records so far.
+  std::size_t committed() const;
+
+  /// Builds the trace: matches committed records to `history` by value to
+  /// assign actors (see file comment), sorts by (actor, op start), and
+  /// resets the recorder. Records still open (issued, never committed) are
+  /// dropped — after a drained run there are none.
+  Trace finish(const lin::History& history, std::string spec, std::string workload);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<const void*, TokenRecord> open_;
+  std::vector<TokenRecord> done_;
+};
+
+}  // namespace cnet::sched

@@ -137,6 +137,42 @@ TEST(FaultInjector, InactiveClausesNeverFire) {
   EXPECT_EQ(injector.stats().deaths, 0u);
 }
 
+TEST(FaultInjector, DecisionLogRecordsEveryDrawInOrder) {
+  fault::FaultPlan plan;
+  ASSERT_TRUE(fault::parse_fault_plan("stall:0.5:1000,pause:1:200,seed:5", &plan, nullptr));
+  fault::Injector injector(plan);
+  // Off by default: draws before enable_log() leave no trace.
+  injector.stall_ns(0, 1);
+  EXPECT_TRUE(injector.decision_log().empty());
+
+  injector.enable_log();
+  std::vector<std::uint64_t> returned;
+  for (int i = 0; i < 16; ++i) returned.push_back(injector.stall_ns(1, 2));
+  returned.push_back(injector.pause_ns(3));
+
+  const std::vector<fault::Injector::Decision> log = injector.decision_log();
+  ASSERT_EQ(log.size(), 17u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(log[i].kind, fault::Injector::Decision::Kind::kStall);
+    EXPECT_EQ(log[i].id, 1u);
+    EXPECT_EQ(log[i].layer, 2u);
+    // No-injection draws are logged too (ns == 0) — that is what lets a
+    // capture attribute which op drew which stall.
+    EXPECT_EQ(log[i].ns, returned[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(log[16].kind, fault::Injector::Decision::Kind::kPause);
+  EXPECT_EQ(log[16].id, 3u);
+  EXPECT_EQ(log[16].ns, 200u);
+  std::uint64_t injected = 0;
+  for (const auto& d : log) {
+    if (d.kind == fault::Injector::Decision::Kind::kStall && d.ns != 0) ++injected;
+  }
+  // stats() counts every injected stall; the log only those drawn after
+  // enable_log() (the first draw above predates it).
+  EXPECT_LE(injected, injector.stats().stalls);
+  EXPECT_GE(injected + 1, injector.stats().stalls);
+}
+
 // --- spec validation (clause/family matrix) -------------------------------
 
 TEST(FaultSpec, FaultOptionRoundTripsThroughTheSpec) {
@@ -151,11 +187,27 @@ TEST(FaultSpec, FaultOptionRoundTripsThroughTheSpec) {
   EXPECT_EQ(reparsed.to_string(), spec.to_string());
 }
 
-TEST(FaultSpec, PsimRejectsFaultPlans) {
+TEST(FaultSpec, PsimAcceptsStallAndDelayAsCycleDebits) {
   run::BackendSpec spec;
   std::string error;
-  EXPECT_FALSE(run::parse_spec("psim:tree:8?fault=stall:0.5:1000", &spec, &error));
-  EXPECT_NE(error.find("psim"), std::string::npos) << error;
+  ASSERT_TRUE(run::parse_spec("psim:tree:8?fault=stall:0.5:1000", &spec, &error)) << error;
+  EXPECT_EQ(spec.fault.to_string(), "stall:0.5:1000");
+  ASSERT_TRUE(run::parse_spec("psim:bitonic:4?fault=delay:0.25:300,seed:3", &spec, &error))
+      << error;
+  run::BackendSpec reparsed;
+  ASSERT_TRUE(run::parse_spec(spec.to_string(), &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.to_string(), spec.to_string());
+}
+
+TEST(FaultSpec, PsimRejectsPauseAndDieWithNamedReasons) {
+  run::BackendSpec spec;
+  std::string error;
+  EXPECT_FALSE(run::parse_spec("psim:tree:8?fault=pause:0.1:1000", &spec, &error));
+  EXPECT_NE(error.find("'pause'"), std::string::npos) << error;
+  EXPECT_NE(error.find("coroutine"), std::string::npos) << error;
+  EXPECT_FALSE(run::parse_spec("psim:tree:8?fault=die:10", &spec, &error));
+  EXPECT_NE(error.find("'die'"), std::string::npos) << error;
+  EXPECT_NE(error.find("client"), std::string::npos) << error;
 }
 
 TEST(FaultSpec, MpOnlyClausesRejectedElsewhere) {

@@ -106,6 +106,22 @@ TEST(EngineWheel, ReplaysHeapOrderBeyondTheHorizon) {
   EXPECT_EQ(run_chains<Engine>(workload), run_chains<HeapEngine>(workload));
 }
 
+TEST(EngineWheel, ReplaysHeapOrderAtStallDebitScale) {
+  // The schedule search's park/defer debits (sched/search.h) mix ~2^20-cycle
+  // sleeps with ~4-cycle hop costs in one run; the wheel must keep the heap's
+  // (cycle, seq) order across that 5-orders-of-magnitude spread, including
+  // parks that wake at exactly the same cycle a short chain reaches.
+  std::vector<std::vector<Cycle>> workload = {
+      {4, 4, 4, Cycle{1} << 20, 4},              // a parked token
+      {4, 4, 4, 4, 4, 4, 4, 4, 4},               // eager wave
+      {(Cycle{1} << 19), 4, 4, 4},               // a deferred invocation
+      {(Cycle{1} << 20) + 16, 4},                // ties with the parked wake
+      {(Cycle{1} << 22), (Cycle{1} << 21), 4},   // pushed past everything
+      {1, 1, 1, (Cycle{1} << 20) + 13, 1, 1},
+  };
+  EXPECT_EQ(run_chains<Engine>(workload), run_chains<HeapEngine>(workload));
+}
+
 TEST(EngineWheel, SameCycleFifoByScheduleOrder) {
   // All chains wake at cycle 7: firing order must be schedule (seq) order.
   std::vector<std::vector<Cycle>> workload(16, std::vector<Cycle>{7});

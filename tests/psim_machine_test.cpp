@@ -4,6 +4,8 @@
 
 #include <tuple>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "obs/backend_metrics.h"
 #include "topo/builders.h"
 
@@ -251,6 +253,61 @@ TEST(Machine, InstrumentationDoesNotPerturbTheSimulation) {
   EXPECT_GT(metrics.c2c1_estimate(), 2.0);
 }
 #endif  // CNET_OBS
+
+// --- fault plans as cycle debits ------------------------------------------
+
+TEST(MachineFault, StallPlanReplaysIdenticallyAndSlowsTheRun) {
+  const topo::Network net = topo::make_bitonic(8);
+  fault::FaultPlan plan;
+  ASSERT_TRUE(fault::parse_fault_plan("stall:0.5:2000:2,seed:11", &plan, nullptr));
+  MachineParams p = base_params(8, 400);
+
+  const MachineResult bare = run_workload(net, p);
+  fault::Injector a(plan);
+  p.fault = &a;
+  const MachineResult first = run_workload(net, p);
+  fault::Injector b(plan);
+  p.fault = &b;
+  const MachineResult second = run_workload(net, p);
+
+  // Deterministic: the single-threaded engine draws every decision in
+  // (cycle, seq) firing order, so one (plan, seed) yields one schedule.
+  EXPECT_EQ(first.makespan, second.makespan);
+  ASSERT_EQ(first.history.size(), second.history.size());
+  for (std::size_t i = 0; i < first.history.size(); ++i) {
+    EXPECT_EQ(first.history[i].start, second.history[i].start);
+    EXPECT_EQ(first.history[i].end, second.history[i].end);
+    EXPECT_EQ(first.history[i].value, second.history[i].value);
+    EXPECT_EQ(first.history[i].actor, second.history[i].actor);
+  }
+  EXPECT_EQ(a.stats().stalls, b.stats().stalls);
+  EXPECT_GT(a.stats().stalls, 0u);
+  // The debits are real simulated time, and the run still completes (the
+  // closed loop may overshoot the target while stalled tokens drain).
+  EXPECT_GT(first.makespan, bare.makespan);
+  EXPECT_GE(first.history.size(), 400u);
+}
+
+TEST(MachineFault, DelayPlanChargesDeliveryDebitsDeterministically) {
+  const topo::Network net = topo::make_counting_tree(8);
+  fault::FaultPlan plan;
+  ASSERT_TRUE(fault::parse_fault_plan("delay:0.25:5000,seed:3", &plan, nullptr));
+  MachineParams p = base_params(4, 200);
+  fault::Injector a(plan);
+  p.fault = &a;
+  const MachineResult first = run_workload(net, p);
+  fault::Injector b(plan);
+  p.fault = &b;
+  const MachineResult second = run_workload(net, p);
+  EXPECT_EQ(first.makespan, second.makespan);
+  EXPECT_GT(a.stats().delays, 0u);
+  EXPECT_EQ(a.stats().delays, b.stats().delays);
+  ASSERT_EQ(first.history.size(), second.history.size());
+  for (std::size_t i = 0; i < first.history.size(); ++i) {
+    EXPECT_EQ(first.history[i].value, second.history[i].value);
+    EXPECT_EQ(first.history[i].end, second.history[i].end);
+  }
+}
 
 }  // namespace
 }  // namespace cnet::psim

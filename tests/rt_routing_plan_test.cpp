@@ -76,7 +76,9 @@ TEST(RoutingPlanCrossCheck, SingleThreadTokenForToken) {
 /// in particular the plan may NOT compile pass-through padding nodes away
 /// when a hook (the delay harness's W-wait) is attached.
 TEST(RoutingPlanCrossCheck, HookedWalkVisitsEveryNode) {
-  const auto count_hook = [](void* ctx) { ++*static_cast<std::uint64_t*>(ctx); };
+  const auto count_hook = [](void* ctx, std::uint32_t /*node*/, std::uint32_t /*port*/) {
+    ++*static_cast<std::uint64_t*>(ctx);
+  };
   for (const TopologyCase& tc : cases()) {
     SCOPED_TRACE(tc.name);
     NetworkCounter plan(tc.make(), with_engine(tc.options, ExecutionEngine::kCompiledPlan));

@@ -1,0 +1,140 @@
+// Capture -> replay determinism: a chaos run on a live backend (rt, mp)
+// captured through the Runner becomes a sched::Trace, the trace lowers to
+// a fixed psim schedule, and two replays produce byte-identical histories
+// with identical Def 2.4 verdicts. A checked-in trace fixture pins the
+// wire format across sessions.
+#include "sched/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "run/backend.h"
+#include "run/backend_spec.h"
+#include "run/runner.h"
+#include "sched/trace.h"
+
+namespace cnet::sched {
+namespace {
+
+void expect_identical(const lin::History& a, const lin::History& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << "op " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << "op " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "op " << i;
+    EXPECT_EQ(a[i].actor, b[i].actor) << "op " << i;
+  }
+}
+
+/// Runs `spec_text` under capture and returns the finished trace.
+Trace capture_run(const std::string& spec_text, std::uint32_t threads, std::uint64_t ops) {
+  std::string error;
+  auto backend = run::make_backend(spec_text, &error);
+  if (backend == nullptr) {
+    ADD_FAILURE() << spec_text << " -> " << error;
+    return {};
+  }
+  run::Workload workload;
+  workload.threads = threads;
+  workload.total_ops = ops;
+  Recorder recorder;
+  const run::RunReport report = run::Runner().run(*backend, workload, nullptr, &recorder);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.history.size(), ops);
+  Trace trace = recorder.finish(report.history, spec_text, workload.to_string());
+  EXPECT_EQ(trace.tokens.size(), ops);
+  return trace;
+}
+
+void expect_replay_deterministic(const Trace& trace) {
+  const topo::Network net = run::parse_spec_or_die(trace.spec).build_network();
+  const ReplayResult first = replay(net, trace);
+  const ReplayResult second = replay(net, trace);
+  ASSERT_FALSE(first.history.empty());
+  expect_identical(first.history, second.history);
+  EXPECT_EQ(first.analysis.nonlinearizable_ops, second.analysis.nonlinearizable_ops);
+  EXPECT_EQ(first.analysis.worst_inversion, second.analysis.worst_inversion);
+  EXPECT_EQ(first.makespan, second.makespan);
+  // The replayed history is a complete counting run: every captured token
+  // re-draws a value, one op per token.
+  EXPECT_EQ(first.history.size(), trace.tokens.size());
+}
+
+TEST(SchedReplay, RtChaosCaptureReplaysIdentically) {
+  const Trace trace =
+      capture_run("rt:bitonic:4?fault=stall:0.3:5000,seed:7", 4, 64);
+  // The chaos run injected stalls; they must survive into the trace.
+  std::uint64_t stalls = 0;
+  for (const TokenRecord& tok : trace.tokens) {
+    EXPECT_EQ(tok.hops.size(), 3u) << "bitonic[4] has 3 layers";
+    for (const HopEvent& hop : tok.hops) stalls += hop.stall_ns != 0 ? 1 : 0;
+  }
+  EXPECT_GT(stalls, 0u);
+  expect_replay_deterministic(trace);
+}
+
+TEST(SchedReplay, MpCaptureReplaysIdentically) {
+  const Trace trace = capture_run("mp:bitonic:4", 4, 48);
+  expect_replay_deterministic(trace);
+}
+
+TEST(SchedReplay, SerializedTraceReplaysTheSame) {
+  const Trace trace = capture_run("rt:bitonic:4", 2, 16);
+  const std::string path = std::string(::testing::TempDir()) + "sched_replay_roundtrip.trace";
+  std::string error;
+  ASSERT_TRUE(trace.save(path, &error)) << error;
+  Trace loaded;
+  ASSERT_TRUE(Trace::load(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded, trace);
+  const topo::Network net = run::parse_spec_or_die(trace.spec).build_network();
+  expect_identical(replay(net, trace).history, replay(net, loaded).history);
+}
+
+TEST(SchedReplay, ScriptLanesFollowTraceTokenOrder) {
+  Trace trace;
+  trace.tokens = {
+      TokenRecord{2, 1, 0, {HopEvent{0, 0, 10}, HopEvent{1, 1, 0}}},
+      TokenRecord{2, 1, 4, {}},
+      TokenRecord{5, 0, 2, {}},
+      TokenRecord{kNoActor, 3, 9, {}},
+  };
+  const psim::Script script = script_from_trace(trace, 4);
+  ASSERT_EQ(script.procs.size(), 3u);  // actors 2, 5, and the kNoActor lane
+  ASSERT_EQ(script.procs[0].size(), 2u);
+  EXPECT_EQ(script.procs[0][0].input, 1u);
+  ASSERT_EQ(script.procs[0][0].stalls.size(), 2u);
+  EXPECT_EQ(script.procs[0][0].stalls[0], 10u);
+  EXPECT_EQ(script.procs[0][0].stalls[1], 0u);
+  ASSERT_EQ(script.procs[1].size(), 1u);
+  EXPECT_EQ(script.procs[1][0].input, 0u);
+  ASSERT_EQ(script.procs[2].size(), 1u);
+  EXPECT_EQ(script.procs[2][0].input, 3u);
+}
+
+TEST(SchedReplay, EmptyTraceReplaysToEmptyResult) {
+  const topo::Network net = run::parse_spec_or_die("psim:bitonic:4").build_network();
+  const ReplayResult result = replay(net, Trace{});
+  EXPECT_TRUE(result.history.empty());
+  EXPECT_EQ(result.makespan, 0u);
+}
+
+// The checked-in fixture: a captured rt chaos run (bitonic[4], 4 threads,
+// 32 ops, stall plan) generated once with `cnet_cli record`. Pins the wire
+// format — a deserialization change that breaks old traces fails here, not
+// in a user's regression archive.
+TEST(SchedReplay, CheckedInFixtureLoadsAndReplaysDeterministically) {
+  Trace trace;
+  std::string error;
+  const std::string path = std::string(CNET_TEST_DATA_DIR) + "/rt_bitonic4_chaos.trace";
+  ASSERT_TRUE(Trace::load(path, &trace, &error)) << error;
+  EXPECT_EQ(trace.spec, "rt:bitonic:4?fault=stall:0.3:5000,seed:7");
+  EXPECT_EQ(trace.tokens.size(), 32u);
+  expect_replay_deterministic(trace);
+}
+
+}  // namespace
+}  // namespace cnet::sched

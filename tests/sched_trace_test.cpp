@@ -1,0 +1,188 @@
+// sched::Recorder and the trace wire format: capture bookkeeping, actor
+// attribution by value, serialize/deserialize round-trips, file save/load,
+// and the named-field diagnostics on malformed inputs.
+#include "sched/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lin/history.h"
+
+namespace cnet::sched {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.spec = "rt:bitonic:4?fault=stall:1:100";
+  trace.workload = "closed threads=2 ops=3";
+  trace.tokens = {
+      TokenRecord{0, 0, 0, {HopEvent{0, 1, 0}, HopEvent{2, 0, 100}}},
+      TokenRecord{0, 0, 2, {HopEvent{1, 0, 0}}},
+      TokenRecord{1, 1, 1, {}},
+  };
+  return trace;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(SchedTrace, RecorderAttributesActorsByValue) {
+  Recorder recorder;
+  int key_a = 0;
+  int key_b = 0;
+  recorder.issue(&key_a, 0);
+  recorder.hop(&key_a, 0, 1, 0);
+  recorder.hop(&key_a, 2, 0, 500);
+  recorder.commit(&key_a, 7);
+  recorder.issue(&key_b, 1);
+  recorder.hop(&key_b, 1, 0, 0);
+  recorder.commit(&key_b, 3);
+  EXPECT_EQ(recorder.committed(), 2u);
+
+  // History: actor 5 drew value 3, actor 9 drew value 7.
+  lin::History history;
+  history.push_back(lin::Operation{0.0, 10.0, 3, 5});
+  history.push_back(lin::Operation{1.0, 12.0, 7, 9});
+  const Trace trace = recorder.finish(history, "rt:bitonic:4", "closed");
+  ASSERT_EQ(trace.tokens.size(), 2u);
+  // Sorted by (actor, start): actor 5 first.
+  EXPECT_EQ(trace.tokens[0].actor, 5u);
+  EXPECT_EQ(trace.tokens[0].value, 3u);
+  EXPECT_EQ(trace.tokens[0].input, 1u);
+  ASSERT_EQ(trace.tokens[0].hops.size(), 1u);
+  EXPECT_EQ(trace.tokens[1].actor, 9u);
+  EXPECT_EQ(trace.tokens[1].value, 7u);
+  ASSERT_EQ(trace.tokens[1].hops.size(), 2u);
+  EXPECT_EQ(trace.tokens[1].hops[1].stall_ns, 500u);
+}
+
+TEST(SchedTrace, RecorderKeyReuseAfterCommitStaysExact) {
+  Recorder recorder;
+  int key = 0;
+  recorder.issue(&key, 0);
+  recorder.commit(&key, 0);
+  recorder.issue(&key, 1);  // the pool reused the cell for a new op
+  recorder.hop(&key, 3, 1, 0);
+  recorder.commit(&key, 4);
+  EXPECT_EQ(recorder.committed(), 2u);
+}
+
+TEST(SchedTrace, RecorderDropsOpenAndIgnoresUnknownKeys) {
+  Recorder recorder;
+  int open_key = 0;
+  int unknown = 0;
+  recorder.issue(&open_key, 0);          // never committed: dropped
+  recorder.hop(&unknown, 1, 0, 0);       // never issued: ignored
+  recorder.commit(&unknown, 42);         // never issued: ignored
+  EXPECT_EQ(recorder.committed(), 0u);
+  const Trace trace = recorder.finish({}, "spec", "workload");
+  EXPECT_TRUE(trace.tokens.empty());
+}
+
+TEST(SchedTrace, UnmatchedValueKeepsNoActorAndSortsLast) {
+  Recorder recorder;
+  int key_a = 0;
+  int key_b = 0;
+  recorder.issue(&key_a, 0);
+  recorder.commit(&key_a, 11);  // value never reached the history
+  recorder.issue(&key_b, 0);
+  recorder.commit(&key_b, 1);
+  lin::History history;
+  history.push_back(lin::Operation{0.0, 1.0, 1, 3});
+  const Trace trace = recorder.finish(history, "spec", "workload");
+  ASSERT_EQ(trace.tokens.size(), 2u);
+  EXPECT_EQ(trace.tokens[0].actor, 3u);
+  EXPECT_EQ(trace.tokens[1].actor, kNoActor);
+  EXPECT_EQ(trace.tokens[1].value, 11u);
+}
+
+TEST(SchedTrace, SerializeDeserializeRoundTrips) {
+  const Trace trace = sample_trace();
+  const std::vector<std::uint8_t> bytes = trace.serialize();
+  Trace decoded;
+  std::string error;
+  ASSERT_TRUE(Trace::deserialize(bytes.data(), bytes.size(), &decoded, &error)) << error;
+  EXPECT_EQ(decoded, trace);
+}
+
+TEST(SchedTrace, SaveLoadRoundTrips) {
+  const Trace trace = sample_trace();
+  const std::string path = temp_path("sched_trace_roundtrip.trace");
+  std::string error;
+  ASSERT_TRUE(trace.save(path, &error)) << error;
+  Trace loaded;
+  ASSERT_TRUE(Trace::load(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded, trace);
+  std::remove(path.c_str());
+}
+
+TEST(SchedTrace, LoadNamesTheMissingFile) {
+  Trace out;
+  std::string error;
+  EXPECT_FALSE(Trace::load(temp_path("no_such.trace"), &out, &error));
+  EXPECT_NE(error.find("no_such.trace"), std::string::npos);
+}
+
+TEST(SchedTrace, DeserializeRejectsMalformedInputsWithNamedFields) {
+  const std::vector<std::uint8_t> good = sample_trace().serialize();
+  Trace out;
+  std::string error;
+
+  // Truncated header.
+  EXPECT_FALSE(Trace::deserialize(good.data(), 8, &out, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+
+  // Bad magic.
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(Trace::deserialize(bad.data(), bad.size(), &out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  // Unsupported version.
+  bad = good;
+  bad[8] = 99;
+  EXPECT_FALSE(Trace::deserialize(bad.data(), bad.size(), &out, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+  EXPECT_NE(error.find("99"), std::string::npos);
+
+  // spec_len overruns the buffer.
+  bad = good;
+  bad[16] = 0xff;
+  bad[17] = 0xff;
+  EXPECT_FALSE(Trace::deserialize(bad.data(), bad.size(), &out, &error));
+  EXPECT_NE(error.find("spec"), std::string::npos);
+
+  // Token section truncated.
+  bad = good;
+  bad.resize(bad.size() - 4);
+  EXPECT_FALSE(Trace::deserialize(bad.data(), bad.size(), &out, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Hop count overruns the buffer.
+  Trace huge = sample_trace();
+  huge.tokens[0].hops.clear();
+  std::vector<std::uint8_t> enc = huge.serialize();
+  // hop_count of token 0 sits right after actor/input/value (4+4+8 bytes).
+  const std::size_t token0 =
+      32 + huge.spec.size() + huge.workload.size() + 16;
+  enc[token0] = 0xff;
+  enc[token0 + 1] = 0xff;
+  EXPECT_FALSE(Trace::deserialize(enc.data(), enc.size(), &out, &error));
+  EXPECT_NE(error.find("hop"), std::string::npos);
+}
+
+TEST(SchedTrace, EmptyTraceRoundTrips) {
+  Trace trace;
+  const std::vector<std::uint8_t> bytes = trace.serialize();
+  Trace decoded;
+  std::string error;
+  ASSERT_TRUE(Trace::deserialize(bytes.data(), bytes.size(), &decoded, &error)) << error;
+  EXPECT_EQ(decoded, trace);
+}
+
+}  // namespace
+}  // namespace cnet::sched

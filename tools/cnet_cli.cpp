@@ -42,6 +42,22 @@
 //       down gracefully — stops accepting, drains every loop, prints the
 //       merged serving stats — and exits 130, the same contract as an
 //       interrupted run
+//   cnet_cli record <spec> <trace.bin> [key=value ...]
+//       run a workload on a live backend (rt or mp) with schedule capture:
+//       every operation's routing decisions and stalls are recorded and the
+//       interleaving is saved as a versioned binary trace (sched/trace.h),
+//       replayable deterministically in psim. Same workload keys as `run`.
+//   cnet_cli replay <trace.bin>
+//       re-execute a captured trace as a fixed psim schedule and print its
+//       Def 2.4 analysis plus a history digest — two replays of one trace
+//       print identical lines, which is what makes a captured chaos run a
+//       regression test
+//   cnet_cli search <spec> [--budget N] [--procs N] [--ops N] [--stalls N]
+//                   [--stall-cycles N] [--json PATH]
+//       bounded adversarial schedule search over stall placements in psim
+//       (spec must be the psim family), maximizing the Def 2.4 inversion
+//       magnitude; prints a JSON report and rediscovers the paper's §4
+//       construction on bitonic networks
 //   cnet_cli deploy <spec> [--tiles N] [--threads N] [--ops N] [--batch N]
 //                   [--max-restarts N] [--timeout S] [--pipeline]
 //                   [--pipeline-sock] [--link-depth N] [--link-burst N]
@@ -77,6 +93,9 @@
 #include "psim/machine.h"
 #include "run/backend.h"
 #include "run/runner.h"
+#include "sched/replay.h"
+#include "sched/search.h"
+#include "sched/trace.h"
 #include "svc/server.h"
 #include "sim/exhaustive.h"
 #include "sim/scenarios.h"
@@ -105,6 +124,10 @@ int usage() {
       "  cnet_cli run      <spec> [threads=N] [ops=N] [batch=N]\n"
       "                    [arrival=closed|poisson|burst] [rate=X] [burst=N] [gap=X]\n"
       "                    [f=X] [wait=N] [seed=N]\n"
+      "  cnet_cli record   <spec> <trace.bin> [key=value ...]   (run keys)\n"
+      "  cnet_cli replay   <trace.bin>\n"
+      "  cnet_cli search   <spec> [--budget N] [--procs N] [--ops N] [--stalls N]\n"
+      "                    [--stall-cycles N] [--json PATH]\n"
       "  cnet_cli count    <spec | kind width> <threads> <ops> [batch] [plan|walk]\n"
       "  cnet_cli stats    <spec | kind width> <threads> <ops> [batch] [trace.json]\n"
       "  cnet_cli serve    <spec> [--port N] [--host A] [--uds PATH] [--loops N]\n"
@@ -336,6 +359,140 @@ int cmd_run(const run::BackendSpec& spec, const run::Workload& workload) {
   std::fputs(report.to_text().c_str(), stdout);
   if (report.interrupted) return 130;
   return report.counting_ok && report.step_ok ? 0 : 1;
+}
+
+int cmd_record(const run::BackendSpec& spec, const std::string& trace_path,
+               const run::Workload& workload) {
+  std::unique_ptr<run::CountingBackend> backend = run::make_backend(spec);
+  sched::Recorder recorder;
+  run::Runner runner;
+  g_interrupt.store(false, std::memory_order_relaxed);
+  auto* previous = std::signal(SIGINT, on_sigint);
+  run::RunReport report = runner.run(*backend, workload, &g_interrupt, &recorder);
+  std::signal(SIGINT, previous);
+  if (!report.ok) {
+    std::fprintf(stderr, "%s", report.to_text().c_str());
+    return 2;
+  }
+  const sched::Trace trace =
+      recorder.finish(report.history, spec.to_string(), workload.to_string());
+  std::string error;
+  if (!trace.save(trace_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  report.schedule_ref = trace_path;
+  std::fputs(report.to_text().c_str(), stdout);
+  std::printf("captured : %zu tokens -> %s (replay with `cnet_cli replay %s`)\n",
+              trace.tokens.size(), trace_path.c_str(), trace_path.c_str());
+  if (report.interrupted) return 130;
+  return report.counting_ok && report.step_ok ? 0 : 1;
+}
+
+/// FNV-1a over the replayed history — one line that two runs of `replay`
+/// must print identically for the determinism claim to be checkable by eye
+/// (and by the CI round's diff).
+std::uint64_t history_digest(const lin::History& history) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const lin::Operation& op : history) {
+    mix(static_cast<std::uint64_t>(op.start));
+    mix(static_cast<std::uint64_t>(op.end));
+    mix(op.value);
+    mix(op.actor);
+  }
+  return h;
+}
+
+int cmd_replay(const std::string& trace_path) {
+  sched::Trace trace;
+  std::string error;
+  if (!sched::Trace::load(trace_path, &trace, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  const run::BackendSpec spec = parse_spec_or_exit(trace.spec);
+  const topo::Network net = spec.build_network();
+  sched::ReplayOptions options;
+  options.hop_cycles = spec.hop_cycles;
+  const sched::ReplayResult result = sched::replay(net, trace, options);
+  std::printf("trace    : %s (%zu tokens)\n", trace_path.c_str(), trace.tokens.size());
+  std::printf("spec     : %s\n", trace.spec.c_str());
+  std::printf("workload : %s\n", trace.workload.c_str());
+  std::printf("replayed : %zu ops, makespan %llu cycles\n", result.history.size(),
+              static_cast<unsigned long long>(result.makespan));
+  std::printf("Def 2.4  : %llu non-linearizable of %llu (%.4f%%), worst inversion %llu\n",
+              static_cast<unsigned long long>(result.analysis.nonlinearizable_ops),
+              static_cast<unsigned long long>(result.analysis.total_ops),
+              result.analysis.fraction() * 100.0,
+              static_cast<unsigned long long>(result.analysis.worst_inversion));
+  std::printf("digest   : %016llx\n",
+              static_cast<unsigned long long>(history_digest(result.history)));
+  return 0;
+}
+
+int cmd_search(const run::BackendSpec& spec, int argc, char** argv, int base) {
+  if (spec.family != run::Family::kPsim) {
+    std::fprintf(stderr,
+                 "search enumerates schedules in the cycle simulator: the spec must use"
+                 " the psim family (got '%s')\n",
+                 spec.to_string().c_str());
+    return 2;
+  }
+  sched::SearchOptions options;
+  options.procs = spec.procs != 0 ? spec.procs : 4;
+  options.hop_cycles = spec.hop_cycles;
+  std::string json_path;
+  for (int i = base; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--budget") {
+      options.budget = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--procs") {
+      options.procs = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--ops") {
+      options.ops_per_proc = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--stalls") {
+      options.max_stalls = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--stall-cycles") {
+      options.stall_cycles = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--json") {
+      json_path = value();
+    } else {
+      std::fprintf(stderr, "unknown search option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.procs == 0 || options.ops_per_proc == 0 || options.budget == 0 ||
+      options.max_stalls == 0) {
+    std::fprintf(stderr, "search needs --procs, --ops, --stalls, and --budget all >= 1\n");
+    return 2;
+  }
+  const topo::Network net = spec.build_network();
+  const sched::SearchResult result = sched::search(net, options);
+  const std::string json = result.to_json(spec.to_string());
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return 0;
 }
 
 int cmd_serve(const run::BackendSpec& spec, int argc, char** argv, int base) {
@@ -616,6 +773,21 @@ int main(int argc, char** argv) {
       if (!apply_workload_arg(argv[i], &workload)) return 2;
     }
     return cmd_run(spec, workload);
+  }
+  if (command == "record") {
+    if (argc < 4) return usage();
+    const run::BackendSpec spec = parse_spec_or_exit(kind);
+    run::Workload workload;
+    for (int i = 4; i < argc; ++i) {
+      if (!apply_workload_arg(argv[i], &workload)) return 2;
+    }
+    return cmd_record(spec, argv[3], workload);
+  }
+  if (command == "replay") {
+    return cmd_replay(kind);
+  }
+  if (command == "search") {
+    return cmd_search(parse_spec_or_exit(kind), argc, argv, 3);
   }
   if (command == "count" || command == "stats") {
     // `<spec> <threads> <ops> [batch] [tail]` or
